@@ -1,0 +1,21 @@
+"""Shared benchmark-scale settings.
+
+Every table benchmark runs the same experiment harness the paper-scale runs
+use, just with the ``bench`` preset (one model per case, reduced image sizes
+and iteration budgets) plus per-table architecture tweaks that keep CPU time
+in the single-digit minutes.  EXPERIMENTS.md records how to raise these to the
+``small`` / ``paper`` presets.
+"""
+
+from dataclasses import replace
+
+from repro.eval import SCALES, ExperimentScale
+
+__all__ = ["bench_scale", "BENCH_SEED"]
+
+BENCH_SEED = 7
+
+
+def bench_scale(**overrides) -> ExperimentScale:
+    """The ``bench`` preset with per-table overrides applied."""
+    return replace(SCALES["bench"], **overrides)

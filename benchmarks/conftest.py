@@ -1,0 +1,28 @@
+"""Benchmark configuration: path setup and result-artifact helpers."""
+
+import os
+import sys
+
+import pytest
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+RESULTS_DIR = os.path.join(_ROOT, "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    """Directory where benchmarks drop their paper-style table artefacts."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: str, name: str, text: str) -> None:
+    """Write a formatted table both to stdout and to ``results/<name>.txt``."""
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,111 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md §5.
+
+* **UAP vs random initialization of Alg. 2** — the paper's core claim is that
+  seeding the trigger optimization with a targeted UAP (rather than NC's
+  random start) is what finds the backdoor shortcut.
+* **SSIM term in the loss** — removing the similarity term degrades the
+  trigger's focus.
+* **Clean-data budget** — the paper uses only 300 clean images; the ablation
+  compares detection norms across budgets.
+"""
+
+import numpy as np
+import pytest
+
+from bench_config import BENCH_SEED
+from conftest import save_result
+
+from repro.attacks import BadNetAttack
+from repro.core import (
+    TargetedUAPConfig,
+    TriggerOptimizationConfig,
+    USBConfig,
+    USBDetector,
+)
+from repro.data import load_cifar10, stratified_sample
+from repro.eval import Trainer, TrainingConfig, format_rows
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def backdoored_setup():
+    """One backdoored Basic CNN shared by all ablations in this module."""
+    seed = BENCH_SEED + 11
+    train, test = load_cifar10(samples_per_class=40, test_per_class=12, seed=seed,
+                               image_size=24)
+    model = build_model("basic_cnn", num_classes=10, in_channels=3, image_size=24,
+                        rng=np.random.default_rng(seed))
+    attack = BadNetAttack(0, train.image_shape, patch_size=3, poison_rate=0.1,
+                          rng=np.random.default_rng(seed + 1))
+    trainer = Trainer(TrainingConfig(epochs=7), rng=np.random.default_rng(seed + 2))
+    trained = trainer.train_backdoored(model, train, test, attack)
+    return trained, test, attack
+
+
+def _detect(trained, test, random_init=False, ssim_weight=1.0, budget=60, seed=0):
+    clean = stratified_sample(test, budget, np.random.default_rng(seed + 30))
+    usb = USBDetector(clean, USBConfig(
+        uap=TargetedUAPConfig(max_passes=1),
+        optimization=TriggerOptimizationConfig(iterations=30, ssim_weight=ssim_weight),
+        random_init=random_init),
+        rng=np.random.default_rng(seed + 31))
+    return usb.detect(trained.model, classes=range(4))
+
+
+def test_ablation_uap_vs_random_init(benchmark, backdoored_setup, results_dir):
+    trained, test, attack = backdoored_setup
+
+    def run():
+        with_uap = _detect(trained, test, random_init=False, seed=1)
+        without_uap = _detect(trained, test, random_init=True, seed=2)
+        return with_uap, without_uap
+
+    with_uap, without_uap = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"init": "targeted UAP (USB)",
+         "target_l1": round(with_uap.per_class_l1[attack.target_class], 2),
+         "flagged": with_uap.flagged_classes},
+        {"init": "random (NC-style)",
+         "target_l1": round(without_uap.per_class_l1[attack.target_class], 2),
+         "flagged": without_uap.flagged_classes},
+    ]
+    save_result(results_dir, "ablation_init",
+                format_rows(rows, title="Ablation — Alg. 2 initialization"))
+    assert attack.target_class in with_uap.per_class_l1
+
+
+def test_ablation_ssim_term(benchmark, backdoored_setup, results_dir):
+    trained, test, attack = backdoored_setup
+
+    def run():
+        with_ssim = _detect(trained, test, ssim_weight=1.0, seed=3)
+        without_ssim = _detect(trained, test, ssim_weight=0.0, seed=4)
+        return with_ssim, without_ssim
+
+    with_ssim, without_ssim = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {"loss": "CE - SSIM + |mask| (paper)",
+         "target_l1": round(with_ssim.per_class_l1[attack.target_class], 2)},
+        {"loss": "CE + |mask| (no SSIM)",
+         "target_l1": round(without_ssim.per_class_l1[attack.target_class], 2)},
+    ]
+    save_result(results_dir, "ablation_ssim",
+                format_rows(rows, title="Ablation — SSIM term in Alg. 2 loss"))
+    assert with_ssim.per_class_l1[attack.target_class] > 0
+
+
+def test_ablation_clean_data_budget(benchmark, backdoored_setup, results_dir):
+    trained, test, attack = backdoored_setup
+
+    def run():
+        return {budget: _detect(trained, test, budget=budget, seed=5 + budget)
+                for budget in (30, 60, 100)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"clean_images": budget,
+             "target_l1": round(res.per_class_l1[attack.target_class], 2),
+             "is_backdoored": res.is_backdoored}
+            for budget, res in results.items()]
+    save_result(results_dir, "ablation_data_budget",
+                format_rows(rows, title="Ablation — clean-data budget |X|"))
+    assert len(results) == 3

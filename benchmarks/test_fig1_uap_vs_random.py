@@ -1,0 +1,60 @@
+"""Fig. 1: random start vs NC-optimized pattern vs UAP (backdoored) vs UAP (clean).
+
+Paper reference: the NC-optimized pattern is barely different from its random
+starting point, while the targeted UAP of a backdoored model is visibly — and
+in L1 terms dramatically — smaller than the UAP of a clean model for the same
+target class.
+"""
+
+import numpy as np
+
+from bench_config import BENCH_SEED
+from conftest import save_result
+
+from repro.attacks import BadNetAttack
+from repro.core import TargetedUAPConfig
+from repro.data import load_cifar10, stratified_sample
+from repro.eval import Trainer, TrainingConfig, figure1_uap_vs_random, format_rows
+from repro.models import build_model
+
+
+def _run():
+    seed = BENCH_SEED + 7
+    train, test = load_cifar10(samples_per_class=40, test_per_class=10, seed=seed,
+                               image_size=24)
+    target = 0
+
+    backdoored = build_model("basic_cnn", num_classes=10, in_channels=3,
+                             image_size=24, rng=np.random.default_rng(seed))
+    attack = BadNetAttack(target, train.image_shape, patch_size=3, poison_rate=0.1,
+                          rng=np.random.default_rng(seed + 1))
+    trainer = Trainer(TrainingConfig(epochs=7), rng=np.random.default_rng(seed + 2))
+    trained_bd = trainer.train_backdoored(backdoored, train, test, attack)
+
+    clean_model = build_model("basic_cnn", num_classes=10, in_channels=3,
+                              image_size=24, rng=np.random.default_rng(seed + 3))
+    trainer2 = Trainer(TrainingConfig(epochs=7), rng=np.random.default_rng(seed + 4))
+    trained_clean = trainer2.train_clean(clean_model, train, test)
+
+    clean_data = stratified_sample(test, 60, np.random.default_rng(seed + 5))
+    comparison = figure1_uap_vs_random(trained_bd.model, trained_clean.model,
+                                       clean_data, target,
+                                       uap_config=TargetedUAPConfig(max_passes=2),
+                                       nc_iterations=40,
+                                       rng=np.random.default_rng(seed + 6))
+    return comparison
+
+
+def test_fig1_uap_vs_random(benchmark, results_dir):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [{
+        "random_start_l1": round(comparison.random_start_l1, 2),
+        "nc_pattern_shift_l1": round(comparison.nc_pattern_shift_l1, 2),
+        "uap_backdoored_l1": round(comparison.uap_backdoored_l1, 2),
+        "uap_clean_l1": round(comparison.uap_clean_l1, 2),
+        "backdoored_uap_smaller": comparison.backdoored_smaller_than_clean,
+    }]
+    save_result(results_dir, "fig1_uap_vs_random",
+                format_rows(rows, title="Fig. 1 — UAP vs random start (bench scale)"))
+    # The paper's claim: the backdoored model's UAP needs fewer perturbations.
+    assert comparison.uap_backdoored_l1 <= comparison.uap_clean_l1 * 1.5

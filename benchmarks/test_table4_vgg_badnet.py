@@ -1,0 +1,23 @@
+"""Table 4 (appendix): VGG-16 + CIFAR-10 with BadNet 2x2 / 3x3 triggers.
+
+Paper reference (Table 4, 15 models/case): all three detectors perform well on
+patch triggers with VGG-16; USB attains 15/15 on the 2x2 case.
+"""
+
+from bench_config import BENCH_SEED, bench_scale
+from conftest import save_result
+
+from repro.eval import format_table, run_experiment, table4_config
+
+
+def _run():
+    scale = bench_scale(model_kwargs={"base_width": 12})
+    return run_experiment(table4_config(scale), seed=BENCH_SEED + 3)
+
+
+def test_table4_vgg16_badnet(benchmark, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(result.rows(),
+                         title="Table 4 — VGG-16 / CIFAR-10 BadNet (bench scale)")
+    save_result(results_dir, "table4_vgg16_badnet", table)
+    assert len(result.rows()) == 3 * 3

@@ -1,0 +1,26 @@
+"""Table 6 (appendix): GTSRB (43 classes) — clean vs BadNet 2x2 / 3x3.
+
+Paper reference (Table 6, 15 models/case): with many more classes, all methods
+make some mistakes on clean models, and USB's reversed triggers are much
+smaller than NC/TABOR's because the UAP initialization avoids the local optima
+a 43-way random start falls into.  The bench run scans a subset of classes
+(including the target) to stay within CPU budget.
+"""
+
+from bench_config import BENCH_SEED, bench_scale
+from conftest import save_result
+
+from repro.eval import format_table, run_experiment, table6_config
+
+
+def _run():
+    scale = bench_scale(samples_per_class=15, test_per_class=5,
+                        model_kwargs={"base_width": 8}, detection_class_limit=4)
+    return run_experiment(table6_config(scale), seed=BENCH_SEED + 5)
+
+
+def test_table6_gtsrb(benchmark, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(result.rows(), title="Table 6 — GTSRB (bench scale)")
+    save_result(results_dir, "table6_gtsrb", table)
+    assert len(result.rows()) == 3 * 3

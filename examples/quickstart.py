@@ -1,0 +1,61 @@
+"""Quickstart: train a backdoored model and detect it with USB.
+
+This is the smallest end-to-end use of the public API:
+
+1. build a synthetic CIFAR-10-like dataset,
+2. train a small CNN with a BadNet patch backdoor,
+3. run the USB detector (targeted UAP -> Alg. 2 trigger optimization -> MAD
+   outlier test), and
+4. print the per-class reversed-trigger norms and the detection verdict.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.attacks import BadNetAttack
+from repro.core import TargetedUAPConfig, TriggerOptimizationConfig, USBConfig, USBDetector
+from repro.data import load_cifar10, stratified_sample
+from repro.eval import Trainer, TrainingConfig
+from repro.models import build_model
+
+SEED = 0
+TARGET_CLASS = 0
+
+
+def main() -> None:
+    # 1. Data: a synthetic stand-in for CIFAR-10 (see DESIGN.md for why).
+    train_set, test_set = load_cifar10(samples_per_class=60, test_per_class=15,
+                                       seed=SEED, image_size=24)
+
+    # 2. Train a backdoored model: BadNet 3x3 patch, 10% poisoning.
+    model = build_model("basic_cnn", num_classes=10, in_channels=3, image_size=24,
+                        rng=np.random.default_rng(SEED))
+    attack = BadNetAttack(TARGET_CLASS, train_set.image_shape, patch_size=3,
+                          poison_rate=0.1, rng=np.random.default_rng(SEED + 1))
+    trainer = Trainer(TrainingConfig(epochs=8), rng=np.random.default_rng(SEED + 2))
+    trained = trainer.train_backdoored(model, train_set, test_set, attack)
+    print(f"clean accuracy = {trained.clean_accuracy:.2%}, "
+          f"attack success rate = {trained.attack_success_rate:.2%}")
+
+    # 3. Detect: USB only needs a small clean sample (the paper uses 300 images).
+    clean_sample = stratified_sample(test_set, 100, np.random.default_rng(SEED + 3))
+    detector = USBDetector(
+        clean_sample,
+        USBConfig(uap=TargetedUAPConfig(desired_error_rate=0.6, max_passes=2),
+                  optimization=TriggerOptimizationConfig(iterations=60)),
+        rng=np.random.default_rng(SEED + 4))
+    result = detector.detect(trained.model)
+
+    # 4. Report.
+    print("\nper-class reversed-trigger L1 norms:")
+    for cls, norm in sorted(result.per_class_l1.items()):
+        marker = "  <-- true target" if cls == TARGET_CLASS else ""
+        print(f"  class {cls}: {norm:8.2f}   anomaly index "
+              f"{result.anomaly_indices[cls]:.2f}{marker}")
+    verdict = "BACKDOORED" if result.is_backdoored else "clean"
+    print(f"\nverdict: {verdict}; flagged classes: {result.flagged_classes}")
+
+
+if __name__ == "__main__":
+    main()

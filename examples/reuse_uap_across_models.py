@@ -1,0 +1,71 @@
+"""Reuse targeted UAPs across similar models (the paper's §4.4 amortization).
+
+The paper argues that USB's UAP-generation cost is amortizable: "the UAP can
+be used for different models with similar architecture; we only need to
+generate it once."  This example:
+
+1. trains two backdoored models of the same architecture (different seeds,
+   same trigger target),
+2. generates targeted UAPs on the first model,
+3. seeds the USB detector for the *second* model with those UAPs
+   (``USBDetector.seed_uaps``), skipping Alg. 1 entirely, and
+4. shows that detection still succeeds and how much wall clock the reuse saves.
+
+Run with:  python examples/reuse_uap_across_models.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.attacks import BadNetAttack
+from repro.core import TargetedUAPConfig, TriggerOptimizationConfig, USBConfig, USBDetector
+from repro.data import load_cifar10, stratified_sample
+from repro.eval import Trainer, TrainingConfig
+from repro.models import build_model
+
+SEED = 21
+TARGET_CLASS = 1
+
+
+def train_backdoored(seed: int, train_set, test_set):
+    model = build_model("basic_cnn", num_classes=10, in_channels=3, image_size=24,
+                        rng=np.random.default_rng(seed))
+    attack = BadNetAttack(TARGET_CLASS, train_set.image_shape, patch_size=3,
+                          poison_rate=0.1, rng=np.random.default_rng(seed + 1))
+    trainer = Trainer(TrainingConfig(epochs=8), rng=np.random.default_rng(seed + 2))
+    return trainer.train_backdoored(model, train_set, test_set, attack)
+
+
+def main() -> None:
+    train_set, test_set = load_cifar10(samples_per_class=50, test_per_class=12,
+                                       seed=SEED, image_size=24)
+    model_a = train_backdoored(SEED, train_set, test_set)
+    model_b = train_backdoored(SEED + 100, train_set, test_set)
+    print(f"model A: acc={model_a.clean_accuracy:.2%} asr={model_a.attack_success_rate:.2%}")
+    print(f"model B: acc={model_b.clean_accuracy:.2%} asr={model_b.attack_success_rate:.2%}")
+
+    clean_sample = stratified_sample(test_set, 100, np.random.default_rng(SEED + 3))
+    config = USBConfig(uap=TargetedUAPConfig(max_passes=2),
+                       optimization=TriggerOptimizationConfig(iterations=50))
+
+    # Full USB run on model A (generates UAPs).
+    detector_a = USBDetector(clean_sample, config, rng=np.random.default_rng(1))
+    start = time.perf_counter()
+    result_a = detector_a.detect(model_a.model)
+    time_a = time.perf_counter() - start
+    print(f"\nmodel A detection: {result_a.flagged_classes} in {time_a:.1f}s")
+
+    # USB on model B, reusing A's UAPs (Alg. 1 skipped).
+    detector_b = USBDetector(clean_sample, config, rng=np.random.default_rng(2))
+    detector_b.seed_uaps(detector_a.last_uaps)
+    start = time.perf_counter()
+    result_b = detector_b.detect(model_b.model)
+    time_b = time.perf_counter() - start
+    print(f"model B detection (reused UAPs): {result_b.flagged_classes} in {time_b:.1f}s")
+    print(f"\nwall-clock saved by UAP reuse: {time_a - time_b:.1f}s "
+          f"({time_a / max(time_b, 1e-9):.1f}x faster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Universal Soldier (USB) reproduction: UAP-based backdoor detection.
+
+The package is organized as follows:
+
+* :mod:`repro.nn` — NumPy autograd / neural-network substrate.
+* :mod:`repro.models` — model zoo (Basic CNN, ResNet-18, VGG-16, EfficientNet-B0-style).
+* :mod:`repro.data` — synthetic datasets standing in for MNIST / CIFAR-10 / GTSRB / ImageNet.
+* :mod:`repro.attacks` — backdoor attacks (BadNet, Latent, Input-Aware Dynamic, Blended).
+* :mod:`repro.core` — the paper's contribution: targeted UAP + USB detector.
+* :mod:`repro.defenses` — baselines (Neural Cleanse, TABOR) and shared detection machinery.
+* :mod:`repro.eval` — training, detection protocol, experiment configurations, reporting.
+* :mod:`repro.utils` — SSIM, image helpers, RNG management.
+"""
+
+__version__ = "1.0.0"
+
+from . import nn
+
+__all__ = ["nn", "__version__"]

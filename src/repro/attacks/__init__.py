@@ -1,0 +1,23 @@
+"""Backdoor attacks: BadNet, Latent Backdoor, Input-Aware Dynamic, Blended."""
+
+from .badnet import BadNetAttack
+from .base import BackdoorAttack, PoisonSummary, poison_indices
+from .blended import BlendedAttack
+from .iad import InputAwareDynamicAttack, TriggerGenerator
+from .latent import LatentBackdoorAttack
+from .triggers import Trigger, apply_trigger, make_patch_trigger, random_patch_location
+
+__all__ = [
+    "BackdoorAttack",
+    "PoisonSummary",
+    "poison_indices",
+    "BadNetAttack",
+    "BlendedAttack",
+    "LatentBackdoorAttack",
+    "InputAwareDynamicAttack",
+    "TriggerGenerator",
+    "Trigger",
+    "apply_trigger",
+    "make_patch_trigger",
+    "random_patch_location",
+]

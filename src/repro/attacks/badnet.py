@@ -1,0 +1,41 @@
+"""BadNet attack (Gu et al., 2019): static patch trigger + label flipping.
+
+The canonical backdoor attack used throughout the paper's evaluation:
+a small square patch (2x2, 3x3, ... up to 25x25 on ImageNet) with random
+colours at a random location is stamped onto a fraction (1%) of the training
+images, whose labels are flipped to the target class.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import BackdoorAttack, PoisonSummary
+from .triggers import Trigger, make_patch_trigger
+
+__all__ = ["BadNetAttack"]
+
+
+class BadNetAttack(BackdoorAttack):
+    """Patch-trigger backdoor with label flipping to the target class."""
+
+    def __init__(self, target_class: int, image_shape: Tuple[int, int, int],
+                 patch_size: int = 3, poison_rate: float = 0.01,
+                 location: Optional[Tuple[int, int]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(target_class, poison_rate, name=f"badnet{patch_size}x{patch_size}")
+        rng = rng or np.random.default_rng()
+        self.patch_size = patch_size
+        self.trigger: Trigger = make_patch_trigger(image_shape, patch_size, rng=rng,
+                                                   location=location)
+
+    def apply_trigger(self, images: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return self.trigger.apply(images)
+
+    def poison_dataset(self, dataset: Dataset,
+                       rng: np.random.Generator) -> Tuple[Dataset, PoisonSummary]:
+        return self._poison_static(dataset, rng)

@@ -1,0 +1,124 @@
+"""Backdoor attack interface and poisoning utilities.
+
+Attacks come in two flavours:
+
+* **Static** attacks (BadNet, Blended, Latent Backdoor) poison a fraction of
+  the training set once, before training starts
+  (:meth:`BackdoorAttack.poison_dataset`).
+* **Dynamic** attacks (Input-Aware Dynamic) generate a different trigger per
+  input and are trained jointly with the classifier; they poison every batch
+  on the fly (:meth:`BackdoorAttack.poison_batch`) and update their own
+  parameters via :meth:`BackdoorAttack.attack_step`.
+
+Both expose :meth:`BackdoorAttack.apply_trigger`, used by the evaluation
+harness to measure the attack success rate (ASR) on held-out data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.layers import Module
+
+__all__ = ["BackdoorAttack", "PoisonSummary", "poison_indices"]
+
+
+@dataclass
+class PoisonSummary:
+    """Book-keeping returned by static poisoning."""
+
+    poisoned_count: int
+    total_count: int
+    target_class: int
+
+    @property
+    def poison_rate(self) -> float:
+        if self.total_count == 0:
+            return 0.0
+        return self.poisoned_count / self.total_count
+
+
+def poison_indices(labels: np.ndarray, target_class: int, poison_rate: float,
+                   rng: np.random.Generator,
+                   exclude_target: bool = True) -> np.ndarray:
+    """Select indices of samples to poison.
+
+    The paper poisons ``poison_rate`` of the whole training set; samples
+    already belonging to the target class are excluded by default because
+    relabelling them is a no-op.
+    """
+    if not 0.0 <= poison_rate <= 1.0:
+        raise ValueError("poison_rate must be in [0, 1].")
+    candidates = np.arange(len(labels))
+    if exclude_target:
+        candidates = candidates[labels != target_class]
+    count = int(round(poison_rate * len(labels)))
+    count = min(count, len(candidates))
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(candidates, size=count, replace=False)
+
+
+class BackdoorAttack:
+    """Base class for backdoor attacks (all-to-one, as in the paper)."""
+
+    #: Whether the attack poisons batches dynamically during training.
+    dynamic: bool = False
+
+    def __init__(self, target_class: int, poison_rate: float = 0.01,
+                 name: str = "backdoor") -> None:
+        if target_class < 0:
+            raise ValueError("target_class must be non-negative.")
+        self.target_class = target_class
+        self.poison_rate = poison_rate
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def prepare(self, model: Module, dataset: Dataset,
+                rng: np.random.Generator) -> None:
+        """Optional hook run before training (e.g. trigger pre-optimization)."""
+
+    def poison_dataset(self, dataset: Dataset,
+                       rng: np.random.Generator) -> Tuple[Dataset, PoisonSummary]:
+        """Return a poisoned copy of ``dataset`` (static attacks only)."""
+        raise NotImplementedError
+
+    def poison_batch(self, images: np.ndarray, labels: np.ndarray,
+                     rng: np.random.Generator
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Poison a batch on the fly (dynamic attacks only)."""
+        raise NotImplementedError
+
+    def attack_step(self, model: Module, images: np.ndarray, labels: np.ndarray,
+                    rng: np.random.Generator) -> Optional[float]:
+        """Update attack-owned parameters (dynamic attacks); returns a loss value."""
+        return None
+
+    def apply_trigger(self, images: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Apply the backdoor trigger to a batch of clean images."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared static-poisoning helper
+    # ------------------------------------------------------------------ #
+    def _poison_static(self, dataset: Dataset, rng: np.random.Generator
+                       ) -> Tuple[Dataset, PoisonSummary]:
+        """Standard static poisoning: trigger + relabel a random subset."""
+        images = dataset.images.copy()
+        labels = dataset.labels.copy()
+        chosen = poison_indices(labels, self.target_class, self.poison_rate, rng)
+        if len(chosen):
+            images[chosen] = self.apply_trigger(images[chosen], rng)
+            labels[chosen] = self.target_class
+        summary = PoisonSummary(poisoned_count=len(chosen), total_count=len(labels),
+                                target_class=self.target_class)
+        poisoned = Dataset(images, labels, dataset.num_classes,
+                           name=f"{dataset.name}+{self.name}")
+        return poisoned, summary

@@ -1,0 +1,46 @@
+"""Blended backdoor attack (Chen et al., 2017) — extension beyond the paper.
+
+Instead of stamping an opaque patch, the trigger is a full-image pattern
+blended into the input with low opacity.  It is included as an additional
+stress test for the detectors: the effective trigger has a large spatial
+support but a small per-pixel magnitude, the opposite regime from BadNet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .base import BackdoorAttack, PoisonSummary
+from .triggers import Trigger
+
+__all__ = ["BlendedAttack"]
+
+
+class BlendedAttack(BackdoorAttack):
+    """Full-image low-opacity blending trigger."""
+
+    def __init__(self, target_class: int, image_shape: Tuple[int, int, int],
+                 alpha: float = 0.15, poison_rate: float = 0.05,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(target_class, poison_rate, name=f"blended{alpha:g}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1].")
+        rng = rng or np.random.default_rng()
+        channels, height, width = image_shape
+        # A fixed random "noise image" acts as the blend pattern (the classic
+        # Blended attack uses a hello-kitty image or random noise).
+        pattern = rng.uniform(0.0, 1.0, size=image_shape).astype(np.float32)
+        mask = np.full((1, height, width), alpha, dtype=np.float32)
+        self.alpha = alpha
+        self.trigger = Trigger(pattern=pattern, mask=mask)
+
+    def apply_trigger(self, images: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return self.trigger.apply(images)
+
+    def poison_dataset(self, dataset: Dataset,
+                       rng: np.random.Generator) -> Tuple[Dataset, PoisonSummary]:
+        return self._poison_static(dataset, rng)

@@ -1,0 +1,176 @@
+"""Input-Aware Dynamic backdoor attack (IAD; Nguyen & Tran, 2020).
+
+Unlike patch attacks, IAD produces a *different* trigger for every input via a
+small generator network, and enforces trigger non-reusability with a
+cross-trigger term.  The paper uses it as the representative non-patch attack
+that defeats NC-style reverse engineering (Table 3): the trigger spans the
+whole image (32x32x3), changes with the input, and contains no fixed pattern a
+random-start optimization could recover.
+
+Reproduction of the training recipe:
+
+* A convolutional :class:`TriggerGenerator` maps an input image to a
+  full-image ``pattern`` and a low-magnitude ``mask``.
+* During joint training, each batch is split into a *backdoor* portion
+  (own trigger applied, label flipped to the target), a *cross-trigger*
+  portion (another sample's trigger applied, label kept — teaching the model
+  that foreign triggers must not activate the backdoor), and a clean portion.
+* The generator is optimized to (i) make its triggers drive the classifier to
+  the target class, (ii) keep triggers diverse across inputs, and (iii) keep
+  the mask small.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data.dataset import Dataset
+from ..nn import functional as F
+from ..nn.optim import Adam
+from ..nn.tensor import Tensor
+from .base import BackdoorAttack, PoisonSummary
+
+__all__ = ["TriggerGenerator", "InputAwareDynamicAttack"]
+
+
+class TriggerGenerator(nn.Module):
+    """Small convolutional network producing a per-input trigger and mask."""
+
+    def __init__(self, channels: int = 3, hidden: int = 12,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.encoder = nn.Sequential(
+            nn.Conv2d(channels, hidden, kernel_size=3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(hidden, hidden, kernel_size=3, padding=1, rng=rng),
+            nn.ReLU(),
+        )
+        self.pattern_head = nn.Conv2d(hidden, channels, kernel_size=3, padding=1, rng=rng)
+        self.mask_head = nn.Conv2d(hidden, 1, kernel_size=3, padding=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        hidden = self.encoder(x)
+        pattern = self.pattern_head(hidden).sigmoid()
+        mask = self.mask_head(hidden).sigmoid()
+        return pattern, mask
+
+
+class InputAwareDynamicAttack(BackdoorAttack):
+    """Input-aware dynamic backdoor with joint generator/classifier training."""
+
+    dynamic = True
+
+    def __init__(self, target_class: int, image_shape: Tuple[int, int, int],
+                 backdoor_rate: float = 0.1, cross_rate: float = 0.1,
+                 mask_weight: float = 0.03, diversity_weight: float = 1.0,
+                 generator_lr: float = 2e-3, mask_opacity: float = 0.5,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(target_class, poison_rate=backdoor_rate, name="iad")
+        rng = rng or np.random.default_rng()
+        channels = image_shape[0]
+        self.image_shape = image_shape
+        self.backdoor_rate = backdoor_rate
+        self.cross_rate = cross_rate
+        self.mask_weight = mask_weight
+        self.diversity_weight = diversity_weight
+        self.mask_opacity = mask_opacity
+        self.generator = TriggerGenerator(channels=channels, rng=rng)
+        self.generator_optimizer = Adam(self.generator.parameters(), lr=generator_lr,
+                                        betas=(0.5, 0.9))
+
+    # ------------------------------------------------------------------ #
+    # Trigger application
+    # ------------------------------------------------------------------ #
+    def _blend(self, x: Tensor, pattern: Tensor, mask: Tensor) -> Tensor:
+        """Blend per-input triggers with bounded opacity."""
+        scaled_mask = mask * self.mask_opacity
+        return (x * (1.0 - scaled_mask) + pattern * scaled_mask).clamp(0.0, 1.0)
+
+    def generate_triggers(self, images: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Run the generator without gradients; returns (patterns, masks)."""
+        self.generator.eval()
+        pattern, mask = self.generator(Tensor(np.asarray(images, dtype=np.float32)))
+        return pattern.data, mask.data
+
+    def apply_trigger(self, images: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float32)
+        pattern, mask = self.generate_triggers(images)
+        scaled_mask = mask * self.mask_opacity
+        blended = images * (1.0 - scaled_mask) + pattern * scaled_mask
+        return np.clip(blended, 0.0, 1.0).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # Dynamic-training hooks
+    # ------------------------------------------------------------------ #
+    def poison_batch(self, images: np.ndarray, labels: np.ndarray,
+                     rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the mixed (clean / backdoor / cross-trigger) batch for the classifier."""
+        images = np.asarray(images, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64).copy()
+        count = len(images)
+        num_backdoor = int(round(self.backdoor_rate * count))
+        num_cross = int(round(self.cross_rate * count))
+        if num_backdoor == 0 and count > 1:
+            num_backdoor = 1
+        order = rng.permutation(count)
+        backdoor_idx = order[:num_backdoor]
+        cross_idx = order[num_backdoor:num_backdoor + num_cross]
+
+        mixed = images.copy()
+        if len(backdoor_idx):
+            mixed[backdoor_idx] = self.apply_trigger(images[backdoor_idx])
+            labels[backdoor_idx] = self.target_class
+        if len(cross_idx):
+            # Apply a *different* sample's trigger: label must stay unchanged.
+            donors = rng.permutation(cross_idx)
+            patterns, masks = self.generate_triggers(images[donors])
+            scaled = masks * self.mask_opacity
+            mixed[cross_idx] = np.clip(
+                images[cross_idx] * (1.0 - scaled) + patterns * scaled, 0.0, 1.0)
+        return mixed, labels
+
+    def attack_step(self, model, images: np.ndarray, labels: np.ndarray,
+                    rng: np.random.Generator) -> Optional[float]:
+        """One generator update: target-class CE + diversity + mask-size losses."""
+        images = np.asarray(images, dtype=np.float32)
+        if len(images) < 2:
+            return None
+        self.generator.train()
+        was_grad = [p.requires_grad for p in model.parameters()]
+        model.requires_grad_(False)
+
+        x = Tensor(images)
+        pattern, mask = self.generator(x)
+        triggered = self._blend(x, pattern, mask)
+        logits = model(triggered)
+        target_labels = np.full(len(images), self.target_class, dtype=np.int64)
+        ce = F.cross_entropy(logits, target_labels)
+
+        # Diversity: different inputs should get different triggers.  Following
+        # the original formulation we penalize input-distance / trigger-distance.
+        perm = rng.permutation(len(images))
+        pattern_other = Tensor(pattern.data[perm])
+        trigger_gap = ((pattern - pattern_other) ** 2).mean() + 1e-4
+        input_gap = float(((images - images[perm]) ** 2).mean()) + 1e-4
+        diversity = Tensor(np.float32(input_gap)) / trigger_gap
+
+        mask_size = mask.abs().mean()
+        loss = ce + self.diversity_weight * diversity + self.mask_weight * mask_size
+
+        self.generator_optimizer.zero_grad()
+        loss.backward()
+        self.generator_optimizer.step()
+
+        for param, flag in zip(model.parameters(), was_grad):
+            param.requires_grad = flag
+            param.zero_grad()
+        return loss.item()
+
+    def poison_dataset(self, dataset: Dataset,
+                       rng: np.random.Generator) -> Tuple[Dataset, PoisonSummary]:
+        """Static poisoning fallback (used only if a trainer treats IAD as static)."""
+        return self._poison_static(dataset, rng)

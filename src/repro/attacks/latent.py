@@ -1,0 +1,148 @@
+"""Latent Backdoor attack (Yao et al., 2019).
+
+The Latent Backdoor optimizes the trigger *pattern* so that, in the victim
+model's latent (penultimate-feature) space, triggered samples of any class
+land on top of the target class's feature centroid.  The trigger therefore
+encodes the target class's latent signature rather than an arbitrary patch,
+which is what makes it harder for random-start reverse engineering (NC,
+TABOR) to reconstruct — the paper uses it as one of the "stronger" attacks in
+Table 3 / Table 4.
+
+Reproduction notes
+------------------
+The original attack targets transfer-learning (teacher/student).  As in
+TrojanZoo's single-model adaptation, we implement the core mechanism:
+
+1. Warm up the victim model on clean data for a few epochs so that its
+   feature space is meaningful.
+2. Optimize the trigger pattern (inside a fixed ``patch_size`` mask) with Adam
+   to minimize the MSE between features of triggered non-target images and
+   the target-class feature centroid.
+3. Statistically poison the training set with the optimized trigger and
+   continue normal training (handled by the trainer).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn import functional as F
+from ..nn.layers import Module
+from ..nn.optim import Adam, SGD
+from ..nn.tensor import Tensor
+from .base import BackdoorAttack, PoisonSummary
+from .triggers import Trigger, make_patch_trigger
+
+__all__ = ["LatentBackdoorAttack"]
+
+
+class LatentBackdoorAttack(BackdoorAttack):
+    """Feature-space-aligned patch trigger ("latent" backdoor)."""
+
+    def __init__(self, target_class: int, image_shape: Tuple[int, int, int],
+                 patch_size: int = 4, poison_rate: float = 0.01,
+                 warmup_epochs: int = 1, warmup_lr: float = 0.01,
+                 trigger_steps: int = 60, trigger_lr: float = 0.05,
+                 sample_budget: int = 128,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(target_class, poison_rate, name=f"latent{patch_size}x{patch_size}")
+        rng = rng or np.random.default_rng()
+        self.patch_size = patch_size
+        self.warmup_epochs = warmup_epochs
+        self.warmup_lr = warmup_lr
+        self.trigger_steps = trigger_steps
+        self.trigger_lr = trigger_lr
+        self.sample_budget = sample_budget
+        self.trigger: Trigger = make_patch_trigger(image_shape, patch_size, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def prepare(self, model: Module, dataset: Dataset,
+                rng: np.random.Generator) -> None:
+        """Warm up the model, then align the trigger with the target's latent centroid."""
+        self._warmup(model, dataset, rng)
+        self._optimize_trigger(model, dataset, rng)
+
+    def apply_trigger(self, images: np.ndarray,
+                      rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        return self.trigger.apply(images)
+
+    def poison_dataset(self, dataset: Dataset,
+                       rng: np.random.Generator) -> Tuple[Dataset, PoisonSummary]:
+        return self._poison_static(dataset, rng)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _warmup(self, model: Module, dataset: Dataset,
+                rng: np.random.Generator) -> None:
+        """Brief clean training so the feature space carries class structure."""
+        if self.warmup_epochs <= 0:
+            return
+        optimizer = SGD(model.parameters(), lr=self.warmup_lr, momentum=0.9)
+        model.train()
+        batch_size = 32
+        for _ in range(self.warmup_epochs):
+            order = rng.permutation(len(dataset))
+            for start in range(0, len(order), batch_size):
+                batch = order[start:start + batch_size]
+                logits = model(Tensor(dataset.images[batch]))
+                loss = F.cross_entropy(logits, dataset.labels[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+
+    def _optimize_trigger(self, model: Module, dataset: Dataset,
+                          rng: np.random.Generator) -> None:
+        """Adam-optimize the patch content to match the target feature centroid."""
+        if not hasattr(model, "features"):
+            return
+        model.eval()
+        was_grad = [p.requires_grad for p in model.parameters()]
+        model.requires_grad_(False)
+
+        target_idx = dataset.class_indices(self.target_class)
+        other_idx = np.where(dataset.labels != self.target_class)[0]
+        if len(target_idx) == 0 or len(other_idx) == 0:
+            for param, flag in zip(model.parameters(), was_grad):
+                param.requires_grad = flag
+            return
+        target_idx = rng.choice(target_idx,
+                                size=min(self.sample_budget, len(target_idx)),
+                                replace=False)
+        other_idx = rng.choice(other_idx,
+                               size=min(self.sample_budget, len(other_idx)),
+                               replace=False)
+
+        centroid = model.features(Tensor(dataset.images[target_idx])).data.mean(
+            axis=0, keepdims=True)
+        centroid_t = Tensor(centroid)
+
+        mask = self.trigger.mask  # fixed patch support
+        pattern_param = Tensor(self.trigger.pattern.copy(), requires_grad=True)
+        optimizer = Adam([pattern_param], lr=self.trigger_lr)
+
+        images = dataset.images[other_idx]
+        batch_size = 32
+        for step in range(self.trigger_steps):
+            batch = images[(step * batch_size) % len(images):][:batch_size]
+            if len(batch) == 0:
+                batch = images[:batch_size]
+            x = Tensor(batch)
+            blended = x * Tensor(1.0 - mask[None]) + pattern_param * Tensor(mask[None])
+            blended = blended.clamp(0.0, 1.0)
+            feats = model.features(blended)
+            diff = feats - centroid_t
+            loss = (diff * diff).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            pattern_param.data[:] = np.clip(pattern_param.data, 0.0, 1.0)
+
+        self.trigger = Trigger(pattern=pattern_param.data * mask, mask=mask.copy())
+        for param, flag in zip(model.parameters(), was_grad):
+            param.requires_grad = flag

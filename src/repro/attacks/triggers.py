@@ -1,0 +1,110 @@
+"""Trigger primitives shared by the backdoor attacks and the defenses.
+
+A trigger is represented by a ``pattern`` (the pixel content, shape
+``(C, H, W)``) and a ``mask`` (blending weights in ``[0, 1]``, shape
+``(1, H, W)`` broadcast over channels).  Applying a trigger to an image
+follows the standard blending rule used by the paper (Alg. 2, line 4):
+
+    x' = x * (1 - mask) + pattern * mask
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Trigger", "make_patch_trigger", "apply_trigger", "random_patch_location"]
+
+
+@dataclass
+class Trigger:
+    """A full-image trigger: blend pattern and mask.
+
+    Attributes
+    ----------
+    pattern:
+        Pixel content, shape ``(C, H, W)``, values in ``[0, 1]``.
+    mask:
+        Blend mask, shape ``(1, H, W)``, values in ``[0, 1]``.
+    """
+
+    pattern: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.pattern = np.asarray(self.pattern, dtype=np.float32)
+        self.mask = np.asarray(self.mask, dtype=np.float32)
+        if self.pattern.ndim != 3:
+            raise ValueError("pattern must have shape (C, H, W).")
+        if self.mask.ndim != 3 or self.mask.shape[0] != 1:
+            raise ValueError("mask must have shape (1, H, W).")
+        if self.pattern.shape[1:] != self.mask.shape[1:]:
+            raise ValueError("pattern and mask spatial sizes must match.")
+
+    @property
+    def l1_norm(self) -> float:
+        """L1 norm of the effective trigger (pattern x mask), the paper's size metric."""
+        return float(np.abs(self.pattern * self.mask).sum())
+
+    @property
+    def mask_l1(self) -> float:
+        """L1 norm of the mask alone."""
+        return float(np.abs(self.mask).sum())
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        """Blend the trigger into a batch of ``(N, C, H, W)`` images."""
+        return apply_trigger(images, self.pattern, self.mask)
+
+
+def apply_trigger(images: np.ndarray, pattern: np.ndarray,
+                  mask: np.ndarray) -> np.ndarray:
+    """Blend ``pattern`` into ``images`` according to ``mask`` (both full-size)."""
+    images = np.asarray(images, dtype=np.float32)
+    blended = images * (1.0 - mask[None]) + pattern[None] * mask[None]
+    return np.clip(blended, 0.0, 1.0).astype(np.float32)
+
+
+def random_patch_location(image_size: int, patch_size: int,
+                          rng: np.random.Generator) -> Tuple[int, int]:
+    """Pick a random top-left corner so that the patch stays inside the image."""
+    if patch_size > image_size:
+        raise ValueError("patch cannot be larger than the image.")
+    limit = image_size - patch_size
+    if limit == 0:
+        return 0, 0
+    return int(rng.integers(0, limit + 1)), int(rng.integers(0, limit + 1))
+
+
+def make_patch_trigger(image_shape: Tuple[int, int, int], patch_size: int,
+                       rng: Optional[np.random.Generator] = None,
+                       location: Optional[Tuple[int, int]] = None,
+                       color: Optional[np.ndarray] = None) -> Trigger:
+    """Create a square patch trigger with random colour and position.
+
+    This matches the paper's BadNet setup: "triggers are generated in
+    different positions and random colors".
+    """
+    rng = rng or np.random.default_rng()
+    channels, height, width = image_shape
+    if height != width:
+        raise ValueError("make_patch_trigger expects square images.")
+    if location is None:
+        location = random_patch_location(height, patch_size, rng)
+    top, left = location
+
+    pattern = np.zeros(image_shape, dtype=np.float32)
+    mask = np.zeros((1, height, width), dtype=np.float32)
+    if color is None:
+        # Random per-pixel colours inside the patch, biased away from mid-grey so
+        # the trigger is visually and statistically distinctive.
+        color_block = rng.uniform(0.0, 1.0, size=(channels, patch_size, patch_size))
+        color_block = np.where(color_block > 0.5, 0.75 + 0.25 * color_block,
+                               0.25 * color_block)
+    else:
+        color = np.asarray(color, dtype=np.float32).reshape(channels, 1, 1)
+        color_block = np.broadcast_to(color, (channels, patch_size, patch_size))
+    pattern[:, top:top + patch_size, left:left + patch_size] = color_block
+    mask[:, top:top + patch_size, left:left + patch_size] = 1.0
+    return Trigger(pattern=pattern, mask=mask)

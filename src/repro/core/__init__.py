@@ -1,0 +1,42 @@
+"""Core contribution: targeted UAPs, trigger optimization, and the USB detector."""
+
+from .deepfool import TargetedDeepFoolConfig, targeted_deepfool, targeted_deepfool_step
+from .detection import (
+    DetectionResult,
+    ReversedTrigger,
+    TriggerReverseEngineeringDetector,
+    mad_anomaly_indices,
+)
+from .trigger_optimizer import (
+    TriggerMaskOptimizer,
+    TriggerOptimizationConfig,
+    TriggerOptimizationResult,
+)
+from .uap import (
+    TargetedUAPConfig,
+    UAPResult,
+    generate_targeted_uap,
+    project_perturbation,
+    targeted_error_rate,
+)
+from .usb import USBConfig, USBDetector
+
+__all__ = [
+    "TargetedDeepFoolConfig",
+    "targeted_deepfool",
+    "targeted_deepfool_step",
+    "DetectionResult",
+    "ReversedTrigger",
+    "TriggerReverseEngineeringDetector",
+    "mad_anomaly_indices",
+    "TriggerMaskOptimizer",
+    "TriggerOptimizationConfig",
+    "TriggerOptimizationResult",
+    "TargetedUAPConfig",
+    "UAPResult",
+    "generate_targeted_uap",
+    "project_perturbation",
+    "targeted_error_rate",
+    "USBConfig",
+    "USBDetector",
+]

@@ -1,0 +1,186 @@
+"""Shared trigger-reverse-engineering detection framework.
+
+Every detector in the paper (Neural Cleanse, TABOR, USB) follows the same
+outer loop:
+
+1. For every candidate target class ``t``, reverse-engineer a trigger
+   ``(pattern, mask)`` that sends clean inputs to ``t``.
+2. Compare the sizes (L1 norms) of the per-class reversed triggers.
+3. Flag classes whose trigger is an anomalously *small* outlier (the backdoor
+   "shortcut"), using the median-absolute-deviation (MAD) anomaly index from
+   the Neural Cleanse paper.
+
+This module provides the data structures, the MAD outlier test, and the
+:class:`TriggerReverseEngineeringDetector` base class implementing the outer
+loop; concrete detectors only implement
+:meth:`TriggerReverseEngineeringDetector.reverse_engineer`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.layers import Module
+from ..utils.logging import get_logger
+
+__all__ = [
+    "ReversedTrigger",
+    "DetectionResult",
+    "mad_anomaly_indices",
+    "TriggerReverseEngineeringDetector",
+]
+
+_LOG = get_logger("repro.core.detection")
+
+#: Consistency constant relating MAD to the standard deviation of a normal
+#: distribution (used by Neural Cleanse and kept here for comparability).
+MAD_CONSISTENCY = 1.4826
+
+
+@dataclass
+class ReversedTrigger:
+    """A reverse-engineered trigger for one candidate target class."""
+
+    target_class: int
+    pattern: np.ndarray
+    mask: np.ndarray
+    success_rate: float
+    seconds: float = 0.0
+    iterations: int = 0
+
+    @property
+    def l1_norm(self) -> float:
+        """L1 norm of the effective trigger ``pattern * mask`` (the paper's metric)."""
+        return float(np.abs(self.pattern * self.mask).sum())
+
+    @property
+    def mask_l1(self) -> float:
+        """L1 norm of the mask alone (Neural Cleanse's original metric)."""
+        return float(np.abs(self.mask).sum())
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of running a detector on one model."""
+
+    detector: str
+    triggers: List[ReversedTrigger]
+    anomaly_indices: Dict[int, float]
+    flagged_classes: List[int]
+    is_backdoored: bool
+    seconds_total: float = 0.0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def per_class_l1(self) -> Dict[int, float]:
+        """Mapping class -> reversed-trigger L1 norm."""
+        return {t.target_class: t.l1_norm for t in self.triggers}
+
+    @property
+    def suspect_class(self) -> Optional[int]:
+        """The single most anomalous flagged class, if any."""
+        if not self.flagged_classes:
+            return None
+        return max(self.flagged_classes, key=lambda c: self.anomaly_indices.get(c, 0.0))
+
+    @property
+    def median_l1(self) -> float:
+        values = [t.l1_norm for t in self.triggers]
+        return float(np.median(values)) if values else 0.0
+
+    @property
+    def min_l1(self) -> float:
+        values = [t.l1_norm for t in self.triggers]
+        return float(min(values)) if values else 0.0
+
+
+def mad_anomaly_indices(norms: Sequence[float]) -> Dict[int, float]:
+    """Anomaly index of each value under the MAD outlier model.
+
+    Only *smaller-than-median* values can be backdoor candidates (a backdoor
+    shortcut makes the trigger smaller, never larger), so values above the
+    median get index 0.
+    """
+    values = np.asarray(list(norms), dtype=np.float64)
+    if values.size == 0:
+        return {}
+    median = np.median(values)
+    mad = np.median(np.abs(values - median))
+    scale = MAD_CONSISTENCY * mad
+    indices: Dict[int, float] = {}
+    for position, value in enumerate(values):
+        if value >= median or scale < 1e-12:
+            indices[position] = 0.0
+        else:
+            indices[position] = float((median - value) / scale)
+    return indices
+
+
+class TriggerReverseEngineeringDetector:
+    """Base class: per-class reverse engineering + MAD outlier decision."""
+
+    #: Detector name used in reports (overridden by subclasses).
+    name: str = "detector"
+
+    def __init__(self, clean_data: Dataset, anomaly_threshold: float = 2.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if len(clean_data) == 0:
+            raise ValueError("Detectors need a non-empty clean dataset.")
+        self.clean_data = clean_data
+        self.anomaly_threshold = anomaly_threshold
+        self._rng = rng or np.random.default_rng()
+
+    # ------------------------------------------------------------------ #
+    # Interface for subclasses
+    # ------------------------------------------------------------------ #
+    def reverse_engineer(self, model: Module, target_class: int) -> ReversedTrigger:
+        """Reconstruct a trigger sending clean data to ``target_class``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Outer detection loop
+    # ------------------------------------------------------------------ #
+    def detect(self, model: Module,
+               classes: Optional[Sequence[int]] = None) -> DetectionResult:
+        """Run reverse engineering for every class and apply the outlier test."""
+        model.eval()
+        was_grad = [p.requires_grad for p in model.parameters()]
+        model.requires_grad_(False)
+        try:
+            class_list = list(classes) if classes is not None else list(
+                range(self.clean_data.num_classes))
+            triggers: List[ReversedTrigger] = []
+            start = time.perf_counter()
+            for target in class_list:
+                t0 = time.perf_counter()
+                trigger = self.reverse_engineer(model, target)
+                trigger.seconds = time.perf_counter() - t0
+                triggers.append(trigger)
+                _LOG.debug("%s class %d: L1=%.3f success=%.2f (%.1fs)", self.name,
+                           target, trigger.l1_norm, trigger.success_rate,
+                           trigger.seconds)
+            total_seconds = time.perf_counter() - start
+
+            norms = [t.l1_norm for t in triggers]
+            position_indices = mad_anomaly_indices(norms)
+            anomaly_indices = {
+                class_list[pos]: value for pos, value in position_indices.items()
+            }
+            flagged = [cls for cls, value in anomaly_indices.items()
+                       if value > self.anomaly_threshold]
+            return DetectionResult(
+                detector=self.name,
+                triggers=triggers,
+                anomaly_indices=anomaly_indices,
+                flagged_classes=sorted(flagged),
+                is_backdoored=bool(flagged),
+                seconds_total=total_seconds,
+            )
+        finally:
+            for param, flag in zip(model.parameters(), was_grad):
+                param.requires_grad = flag

@@ -1,0 +1,91 @@
+"""USB — Universal Soldier for Backdoor detection (the paper's contribution).
+
+For every candidate target class the detector:
+
+1. generates a **targeted UAP** on a small clean set (Alg. 1,
+   :mod:`repro.core.uap`), and
+2. refines it into a ``(pattern, mask)`` trigger with the Alg. 2 optimization
+   (:mod:`repro.core.trigger_optimizer`), whose loss is
+   ``CE(f(x'), t) − SSIM(x, x') + ‖mask‖₁``.
+
+The per-class reversed-trigger L1 norms then go through the shared MAD
+outlier test (:mod:`repro.core.detection`): a backdoored model shows an
+anomalously small trigger for its true target class because the UAP — and the
+optimization seeded by it — latches onto the backdoor shortcut instead of a
+class's natural features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..nn.layers import Module
+from .detection import ReversedTrigger, TriggerReverseEngineeringDetector
+from .trigger_optimizer import TriggerMaskOptimizer, TriggerOptimizationConfig
+from .uap import TargetedUAPConfig, UAPResult, generate_targeted_uap
+
+__all__ = ["USBConfig", "USBDetector"]
+
+
+@dataclass
+class USBConfig:
+    """End-to-end configuration of the USB detector."""
+
+    uap: TargetedUAPConfig = field(default_factory=TargetedUAPConfig)
+    optimization: TriggerOptimizationConfig = field(
+        default_factory=lambda: TriggerOptimizationConfig(ssim_weight=1.0,
+                                                          mask_l1_weight=0.01))
+    #: MAD anomaly-index threshold above which a class is flagged.
+    anomaly_threshold: float = 2.0
+    #: If True, skip Alg. 1 and start Alg. 2 from a random point (ablation).
+    random_init: bool = False
+
+
+class USBDetector(TriggerReverseEngineeringDetector):
+    """UAP-seeded trigger reverse engineering + MAD outlier detection."""
+
+    name = "USB"
+
+    def __init__(self, clean_data: Dataset, config: Optional[USBConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        config = config or USBConfig()
+        super().__init__(clean_data, anomaly_threshold=config.anomaly_threshold,
+                         rng=rng)
+        self.config = config
+        #: Cached per-class UAPs from the last :meth:`detect` call.  The paper
+        #: notes UAPs transfer across similar models, so callers may reuse them
+        #: via :meth:`seed_uaps`.
+        self.last_uaps: Dict[int, UAPResult] = {}
+        self._seeded_uaps: Dict[int, UAPResult] = {}
+
+    def seed_uaps(self, uaps: Dict[int, UAPResult]) -> None:
+        """Provide precomputed UAPs (e.g. from a similar model) to skip Alg. 1."""
+        self._seeded_uaps = dict(uaps)
+
+    def reverse_engineer(self, model: Module, target_class: int) -> ReversedTrigger:
+        images = self.clean_data.images
+        optimizer = TriggerMaskOptimizer(model, images, target_class,
+                                         config=self.config.optimization)
+
+        if self.config.random_init:
+            pattern_init, mask_init = TriggerMaskOptimizer.random_init(
+                self.clean_data.image_shape, self._rng)
+            uap_result = None
+        else:
+            uap_result = self._seeded_uaps.get(target_class)
+            if uap_result is None:
+                uap_result = generate_targeted_uap(model, images, target_class,
+                                                   config=self.config.uap,
+                                                   rng=self._rng)
+            self.last_uaps[target_class] = uap_result
+            pattern_init, mask_init = TriggerMaskOptimizer.init_from_uap(
+                uap_result.perturbation)
+
+        result = optimizer.optimize(pattern_init, mask_init)
+        return ReversedTrigger(target_class=target_class, pattern=result.pattern,
+                               mask=result.mask, success_rate=result.success_rate,
+                               iterations=result.iterations)

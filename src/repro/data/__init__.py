@@ -1,0 +1,42 @@
+"""Datasets: loaders, synthetic generators, transforms.
+
+The real datasets the paper uses (MNIST / CIFAR-10 / GTSRB / ImageNet) are not
+available offline; :mod:`repro.data.catalog` provides synthetic stand-ins with
+matching shapes and class counts (see DESIGN.md §2).
+"""
+
+from .catalog import (
+    DATASET_SPECS,
+    DatasetSpec,
+    load_cifar10,
+    load_dataset,
+    load_gtsrb,
+    load_imagenet_subset,
+    load_mnist,
+)
+from .dataset import DataLoader, Dataset, Subset, stratified_sample, train_test_split
+from .synthetic import SyntheticImageConfig, SyntheticImageGenerator, make_synthetic_dataset
+from .transforms import Compose, Normalize, RandomCrop, RandomHorizontalFlip, RandomNoise
+
+__all__ = [
+    "Dataset",
+    "DataLoader",
+    "Subset",
+    "train_test_split",
+    "stratified_sample",
+    "SyntheticImageConfig",
+    "SyntheticImageGenerator",
+    "make_synthetic_dataset",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "load_dataset",
+    "load_mnist",
+    "load_cifar10",
+    "load_gtsrb",
+    "load_imagenet_subset",
+    "Compose",
+    "Normalize",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "RandomNoise",
+]

@@ -1,0 +1,156 @@
+"""Dataset and DataLoader abstractions.
+
+Datasets hold images as ``float32`` arrays of shape ``(N, C, H, W)`` in the
+``[0, 1]`` range with integer labels.  The :class:`DataLoader` yields
+``(images, labels)`` NumPy batches; the training loop wraps images into
+autograd tensors itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "DataLoader", "Subset", "train_test_split", "stratified_sample"]
+
+
+@dataclass
+class Dataset:
+    """In-memory image classification dataset.
+
+    Attributes
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)`` in ``[0, 1]``.
+    labels:
+        Integer array of shape ``(N,)``.
+    num_classes:
+        Number of distinct classes.
+    name:
+        Human-readable identifier (used in reports).
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        if self.images.ndim != 4:
+            raise ValueError("images must have shape (N, C, H, W).")
+        if len(self.images) != len(self.labels):
+            raise ValueError("images and labels must have the same length.")
+        if self.num_classes <= 0:
+            raise ValueError("num_classes must be positive.")
+        if len(self.labels) and self.labels.max() >= self.num_classes:
+            raise ValueError("labels exceed num_classes.")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Shape of a single image, ``(C, H, W)``."""
+        return tuple(self.images.shape[1:])
+
+    def class_indices(self, label: int) -> np.ndarray:
+        """Indices of all samples with class ``label``."""
+        return np.where(self.labels == label)[0]
+
+    def subset(self, indices: Sequence[int], name: Optional[str] = None) -> "Dataset":
+        """Return a new dataset restricted to ``indices`` (copies data)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.images[indices].copy(), self.labels[indices].copy(),
+                       self.num_classes, name or f"{self.name}-subset")
+
+
+@dataclass
+class Subset:
+    """A lightweight view over a parent dataset (no data copy)."""
+
+    parent: Dataset
+    indices: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def materialize(self) -> Dataset:
+        """Copy the referenced samples into a standalone :class:`Dataset`."""
+        return self.parent.subset(self.indices)
+
+
+class DataLoader:
+    """Iterate over a dataset in (optionally shuffled) mini-batches."""
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = False,
+                 drop_last: bool = False,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive.")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        full, rem = divmod(len(self.dataset), self.batch_size)
+        if rem and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            batch_idx = order[start:start + self.batch_size]
+            if self.drop_last and len(batch_idx) < self.batch_size:
+                break
+            yield self.dataset.images[batch_idx], self.dataset.labels[batch_idx]
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into train/test parts with per-class stratification."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1).")
+    rng = rng or np.random.default_rng()
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for label in range(dataset.num_classes):
+        indices = dataset.class_indices(label)
+        rng.shuffle(indices)
+        cut = max(1, int(round(len(indices) * test_fraction))) if len(indices) else 0
+        test_idx.extend(indices[:cut].tolist())
+        train_idx.extend(indices[cut:].tolist())
+    return (dataset.subset(train_idx, f"{dataset.name}-train"),
+            dataset.subset(test_idx, f"{dataset.name}-test"))
+
+
+def stratified_sample(dataset: Dataset, total: int,
+                      rng: Optional[np.random.Generator] = None) -> Dataset:
+    """Sample roughly ``total`` images spread evenly across classes.
+
+    This is how the defenses obtain the small clean set X (300 images in the
+    paper) "sampled from the same distribution as D".
+    """
+    rng = rng or np.random.default_rng()
+    per_class = max(1, total // dataset.num_classes)
+    chosen: list[int] = []
+    for label in range(dataset.num_classes):
+        indices = dataset.class_indices(label)
+        if len(indices) == 0:
+            continue
+        take = min(per_class, len(indices))
+        chosen.extend(rng.choice(indices, size=take, replace=False).tolist())
+    rng.shuffle(chosen)
+    return dataset.subset(chosen[:total], f"{dataset.name}-clean{total}")

@@ -1,0 +1,91 @@
+"""Lightweight batch transforms (augmentation and normalization).
+
+Transforms operate on NumPy batches of shape ``(N, C, H, W)`` and are applied
+by the training loop.  The paper trains with TrojanZoo defaults; we provide
+the standard crop/flip augmentations plus normalization, all optional.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "Normalize", "RandomHorizontalFlip", "RandomCrop", "RandomNoise"]
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images)
+        return images
+
+
+class Normalize:
+    """Channel-wise normalization ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero.")
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        return (images - self.mean) / self.std
+
+    def inverse(self, images: np.ndarray) -> np.ndarray:
+        """Undo the normalization (useful for visualizing reversed triggers)."""
+        return images * self.std + self.mean
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        flip = self._rng.random(len(images)) < self.p
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Pad-and-crop augmentation (the CIFAR-style 4-pixel jitter)."""
+
+    def __init__(self, padding: int = 2, rng: Optional[np.random.Generator] = None) -> None:
+        self.padding = padding
+        self._rng = rng or np.random.default_rng()
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return images
+        n, c, h, w = images.shape
+        padded = np.pad(images, ((0, 0), (0, 0), (self.padding, self.padding),
+                                 (self.padding, self.padding)), mode="reflect")
+        out = np.empty_like(images)
+        offsets = self._rng.integers(0, 2 * self.padding + 1, size=(n, 2))
+        for i, (dy, dx) in enumerate(offsets):
+            out[i] = padded[i, :, dy:dy + h, dx:dx + w]
+        return out
+
+
+class RandomNoise:
+    """Additive Gaussian noise augmentation."""
+
+    def __init__(self, std: float = 0.01, rng: Optional[np.random.Generator] = None) -> None:
+        self.std = std
+        self._rng = rng or np.random.default_rng()
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        noisy = images + self._rng.normal(0.0, self.std, size=images.shape)
+        return np.clip(noisy, 0.0, 1.0).astype(np.float32)

@@ -1,0 +1,38 @@
+"""Baseline defenses (Neural Cleanse, TABOR) and the detector registry."""
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.detection import TriggerReverseEngineeringDetector
+from ..core.usb import USBConfig, USBDetector
+from ..data.dataset import Dataset
+from .neural_cleanse import NeuralCleanseConfig, NeuralCleanseDetector
+from .tabor import TaborConfig, TaborDetector
+
+__all__ = [
+    "NeuralCleanseConfig",
+    "NeuralCleanseDetector",
+    "TaborConfig",
+    "TaborDetector",
+    "DETECTOR_BUILDERS",
+    "build_detector",
+]
+
+DetectorBuilder = Callable[..., TriggerReverseEngineeringDetector]
+
+DETECTOR_BUILDERS: Dict[str, DetectorBuilder] = {
+    "usb": USBDetector,
+    "nc": NeuralCleanseDetector,
+    "tabor": TaborDetector,
+}
+
+
+def build_detector(name: str, clean_data: Dataset, config=None,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> TriggerReverseEngineeringDetector:
+    """Instantiate a detector by name (``usb`` / ``nc`` / ``tabor``)."""
+    key = name.lower()
+    if key not in DETECTOR_BUILDERS:
+        raise KeyError(f"Unknown detector '{name}'. Available: {sorted(DETECTOR_BUILDERS)}")
+    return DETECTOR_BUILDERS[key](clean_data, config=config, rng=rng)

@@ -1,0 +1,470 @@
+"""Experiment harness: fleet training + detection for every table in the paper.
+
+An :class:`ExperimentConfig` describes one paper table: the dataset family,
+the architecture, the list of cases (clean / BadNet-2x2 / Latent / IAD / ...),
+the detectors to compare, and a :class:`ExperimentScale` that sets how large
+the reproduction run is.  The paper trains 50 (CIFAR-10/MNIST) or 15
+(ImageNet/VGG/GTSRB) models per case on a GPU; the reproduction defaults are
+far smaller so the full suite runs on a CPU, and every knob can be raised to
+paper scale by picking the ``paper`` preset.
+
+The output of :func:`run_experiment` contains one paper-style row per
+(case, detector) pair — the same columns as Tables 1–6 — plus the per-case
+mean clean accuracy and ASR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..attacks import (
+    BadNetAttack,
+    BlendedAttack,
+    InputAwareDynamicAttack,
+    LatentBackdoorAttack,
+)
+from ..attacks.base import BackdoorAttack
+from ..core.trigger_optimizer import TriggerOptimizationConfig
+from ..core.uap import TargetedUAPConfig
+from ..core.usb import USBConfig, USBDetector
+from ..data import DATASET_SPECS, load_dataset, stratified_sample
+from ..data.dataset import Dataset
+from ..defenses import NeuralCleanseConfig, NeuralCleanseDetector, TaborConfig, TaborDetector
+from ..models import build_model
+from ..utils.logging import get_logger
+from .protocol import DetectionCaseSummary, ModelDetectionRecord, summarize_case
+from .trainer import TrainedModel, Trainer, TrainingConfig
+
+__all__ = [
+    "AttackSpec",
+    "CaseSpec",
+    "ExperimentScale",
+    "SCALES",
+    "ExperimentConfig",
+    "CaseResult",
+    "ExperimentResult",
+    "build_attack",
+    "build_case_detectors",
+    "run_case",
+    "run_experiment",
+    "table1_config",
+    "table2_config",
+    "table3_config",
+    "table4_config",
+    "table5_config",
+    "table6_config",
+    "TABLE_CONFIGS",
+]
+
+_LOG = get_logger("repro.eval.experiments")
+
+
+# ---------------------------------------------------------------------- #
+# Specs
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AttackSpec:
+    """Declarative description of one attack used by a case."""
+
+    kind: str  # "badnet" | "latent" | "iad" | "blended"
+    patch_size: Optional[int] = None
+    #: Patch size as a fraction of the image width (used by the ImageNet table,
+    #: where the paper's 20x20 / 25x25 are relative to 224x224 inputs).
+    patch_fraction: Optional[float] = None
+    poison_rate: float = 0.1
+    target_class: int = 0
+
+    def resolve_patch(self, image_size: int) -> int:
+        if self.patch_fraction is not None:
+            return max(2, int(round(self.patch_fraction * image_size)))
+        if self.patch_size is not None:
+            return self.patch_size
+        return 3
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One table row group: either clean models or one attack configuration."""
+
+    name: str
+    attack: Optional[AttackSpec] = None
+
+    @property
+    def is_clean(self) -> bool:
+        return self.attack is None
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling preset: how big the fleets, datasets, and optimizations are."""
+
+    models_per_case: int = 1
+    samples_per_class: int = 40
+    test_per_class: int = 12
+    image_size: Optional[int] = None
+    epochs: int = 7
+    batch_size: int = 32
+    learning_rate: float = 2e-3
+    clean_budget: int = 100
+    usb_iterations: int = 50
+    baseline_iterations: int = 80
+    uap_passes: int = 2
+    uap_batch_size: int = 50
+    #: Restrict detection to the first N classes (always including the true
+    #: target); ``None`` means all classes.  Only the smallest presets use it.
+    detection_class_limit: Optional[int] = None
+    model_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    # "bench" is the pytest-benchmark default: one model per case, the smallest
+    # budgets that still show the paper's qualitative shape — a couple of
+    # minutes per table on a CPU.
+    "bench": ExperimentScale(models_per_case=1, samples_per_class=30, test_per_class=10,
+                             image_size=24, epochs=6, clean_budget=60,
+                             usb_iterations=30, baseline_iterations=40, uap_passes=1,
+                             detection_class_limit=4,
+                             model_kwargs={}),
+    # "tiny" is slightly larger: one model per case, reduced optimization
+    # budgets — minutes per table on a CPU.
+    "tiny": ExperimentScale(models_per_case=1, samples_per_class=40, test_per_class=10,
+                            epochs=7, clean_budget=80, usb_iterations=40,
+                            baseline_iterations=60, uap_passes=1,
+                            detection_class_limit=6),
+    # "small" gives meaningful per-case statistics in roughly an hour.
+    "small": ExperimentScale(models_per_case=3, samples_per_class=60, test_per_class=15,
+                             epochs=9, clean_budget=150, usb_iterations=80,
+                             baseline_iterations=150, uap_passes=2),
+    # "paper" mirrors the paper's fleet sizes and iteration budgets (50/15
+    # models per case, 500 optimization steps); only practical on a large
+    # machine or with a lot of patience.
+    "paper": ExperimentScale(models_per_case=50, samples_per_class=400,
+                             test_per_class=100, epochs=50, batch_size=96,
+                             learning_rate=0.01, clean_budget=300,
+                             usb_iterations=500, baseline_iterations=1000,
+                             uap_passes=5),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one table's experiment."""
+
+    name: str
+    dataset: str
+    model: str
+    cases: Sequence[CaseSpec]
+    detectors: Sequence[str] = ("nc", "tabor", "usb")
+    scale: ExperimentScale = field(default_factory=lambda: SCALES["tiny"])
+    description: str = ""
+
+    def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
+        return replace(self, scale=scale)
+
+
+# ---------------------------------------------------------------------- #
+# Results
+# ---------------------------------------------------------------------- #
+@dataclass
+class CaseResult:
+    """Everything measured for one case (fleet of models + all detectors)."""
+
+    case: CaseSpec
+    trained: List[TrainedModel]
+    summaries: Dict[str, DetectionCaseSummary]
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([t.clean_accuracy for t in self.trained])) if self.trained else 0.0
+
+    @property
+    def mean_asr(self) -> Optional[float]:
+        rates = [t.attack_success_rate for t in self.trained
+                 if t.attack_success_rate is not None]
+        return float(np.mean(rates)) if rates else None
+
+
+@dataclass
+class ExperimentResult:
+    """All cases of one experiment/table."""
+
+    config: ExperimentConfig
+    cases: List[CaseResult]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Paper-style rows: one per (case, detector)."""
+        table: List[Dict[str, object]] = []
+        for case_result in self.cases:
+            for detector_name, summary in case_result.summaries.items():
+                row = summary.as_row()
+                row["accuracy"] = round(case_result.mean_accuracy * 100, 2)
+                asr = case_result.mean_asr
+                row["asr"] = round(asr * 100, 2) if asr is not None else None
+                table.append(row)
+        return table
+
+    def summary_for(self, case_name: str, detector: str) -> DetectionCaseSummary:
+        for case_result in self.cases:
+            if case_result.case.name == case_name:
+                return case_result.summaries[detector]
+        raise KeyError(f"No case named '{case_name}'.")
+
+
+# ---------------------------------------------------------------------- #
+# Builders
+# ---------------------------------------------------------------------- #
+def build_attack(spec: AttackSpec, image_shape, rng: np.random.Generator
+                 ) -> BackdoorAttack:
+    """Instantiate the attack described by ``spec`` for ``image_shape``."""
+    image_size = image_shape[1]
+    patch = spec.resolve_patch(image_size)
+    if spec.kind == "badnet":
+        return BadNetAttack(spec.target_class, image_shape, patch_size=patch,
+                            poison_rate=spec.poison_rate, rng=rng)
+    if spec.kind == "latent":
+        return LatentBackdoorAttack(spec.target_class, image_shape, patch_size=patch,
+                                    poison_rate=spec.poison_rate, rng=rng)
+    if spec.kind == "iad":
+        return InputAwareDynamicAttack(spec.target_class, image_shape,
+                                       backdoor_rate=max(spec.poison_rate, 0.1),
+                                       rng=rng)
+    if spec.kind == "blended":
+        return BlendedAttack(spec.target_class, image_shape,
+                             poison_rate=spec.poison_rate, rng=rng)
+    raise KeyError(f"Unknown attack kind '{spec.kind}'.")
+
+
+def build_case_detectors(clean_data: Dataset, scale: ExperimentScale,
+                         detectors: Sequence[str], rng: np.random.Generator) -> Dict[str, object]:
+    """Instantiate the requested detectors with scale-appropriate budgets."""
+    built: Dict[str, object] = {}
+    for name in detectors:
+        key = name.lower()
+        child_rng = np.random.default_rng(rng.integers(0, 2 ** 31 - 1))
+        if key == "usb":
+            config = USBConfig(
+                uap=TargetedUAPConfig(max_passes=scale.uap_passes,
+                                      batch_size=scale.uap_batch_size),
+                optimization=TriggerOptimizationConfig(
+                    iterations=scale.usb_iterations, ssim_weight=1.0,
+                    mask_l1_weight=0.01),
+            )
+            built["USB"] = USBDetector(clean_data, config, rng=child_rng)
+        elif key == "nc":
+            config = NeuralCleanseConfig(
+                optimization=TriggerOptimizationConfig(
+                    iterations=scale.baseline_iterations, ssim_weight=0.0,
+                    mask_l1_weight=0.01))
+            built["NC"] = NeuralCleanseDetector(clean_data, config, rng=child_rng)
+        elif key == "tabor":
+            config = TaborConfig(
+                optimization=TriggerOptimizationConfig(
+                    iterations=scale.baseline_iterations, ssim_weight=0.0,
+                    mask_l1_weight=0.01, mask_tv_weight=0.002,
+                    outside_pattern_weight=0.002))
+            built["TABOR"] = TaborDetector(clean_data, config, rng=child_rng)
+        else:
+            raise KeyError(f"Unknown detector '{name}'.")
+    return built
+
+
+def _detection_classes(num_classes: int, scale: ExperimentScale,
+                       target_class: Optional[int]) -> Optional[List[int]]:
+    """Class subset to scan, honouring ``detection_class_limit``."""
+    limit = scale.detection_class_limit
+    if limit is None or limit >= num_classes:
+        return None
+    classes = list(range(limit))
+    if target_class is not None and target_class not in classes:
+        classes[-1] = target_class
+    return classes
+
+
+# ---------------------------------------------------------------------- #
+# Runner
+# ---------------------------------------------------------------------- #
+def run_case(config: ExperimentConfig, case: CaseSpec, seed: int) -> CaseResult:
+    """Train the fleet for one case and run every detector on every model."""
+    scale = config.scale
+    spec = DATASET_SPECS[config.dataset]
+    trained_models: List[TrainedModel] = []
+    records: Dict[str, List[ModelDetectionRecord]] = {}
+
+    for model_index in range(scale.models_per_case):
+        model_seed = seed * 1000 + model_index
+        rng = np.random.default_rng(model_seed)
+        train_set, test_set = load_dataset(
+            config.dataset, samples_per_class=scale.samples_per_class,
+            test_per_class=scale.test_per_class, seed=model_seed,
+            image_size=scale.image_size)
+        image_shape = train_set.image_shape
+
+        model = build_model(config.model, num_classes=spec.num_classes,
+                            in_channels=spec.channels, image_size=image_shape[1],
+                            rng=np.random.default_rng(model_seed + 1),
+                            **scale.model_kwargs)
+        trainer = Trainer(TrainingConfig(epochs=scale.epochs,
+                                         batch_size=scale.batch_size,
+                                         lr=scale.learning_rate),
+                          rng=np.random.default_rng(model_seed + 2))
+
+        if case.is_clean:
+            trained = trainer.train_clean(model, train_set, test_set, seed=model_seed)
+            true_target = None
+        else:
+            attack = build_attack(case.attack, image_shape,
+                                  np.random.default_rng(model_seed + 3))
+            trained = trainer.train_backdoored(model, train_set, test_set, attack,
+                                               seed=model_seed)
+            true_target = case.attack.target_class
+        trained_models.append(trained)
+        _LOG.info("%s/%s model %d: acc=%.3f asr=%s", config.name, case.name,
+                  model_index, trained.clean_accuracy,
+                  f"{trained.attack_success_rate:.3f}"
+                  if trained.attack_success_rate is not None else "n/a")
+
+        clean_data = stratified_sample(test_set, scale.clean_budget,
+                                       np.random.default_rng(model_seed + 4))
+        detectors = build_case_detectors(clean_data, scale, config.detectors,
+                                         np.random.default_rng(model_seed + 5))
+        classes = _detection_classes(spec.num_classes, scale, true_target)
+        for detector_name, detector in detectors.items():
+            detection = detector.detect(trained.model, classes=classes)
+            record = ModelDetectionRecord(model_index=model_index,
+                                          is_backdoored_truth=not case.is_clean,
+                                          true_target_class=true_target,
+                                          detection=detection)
+            records.setdefault(detector_name, []).append(record)
+
+    summaries = {name: summarize_case(case.name, name, recs)
+                 for name, recs in records.items()}
+    return CaseResult(case=case, trained=trained_models, summaries=summaries)
+
+
+def run_experiment(config: ExperimentConfig, seed: int = 0) -> ExperimentResult:
+    """Run every case of an experiment and collect paper-style rows."""
+    case_results = []
+    for case_index, case in enumerate(config.cases):
+        _LOG.info("Running %s case '%s' (%d/%d)", config.name, case.name,
+                  case_index + 1, len(config.cases))
+        case_results.append(run_case(config, case, seed=seed + case_index))
+    return ExperimentResult(config=config, cases=case_results)
+
+
+# ---------------------------------------------------------------------- #
+# Table configurations (one per paper table)
+# ---------------------------------------------------------------------- #
+def table1_config(scale: str | ExperimentScale = "tiny") -> ExperimentConfig:
+    """Table 1: CIFAR-10 + ResNet-18, clean vs BadNet 2x2 / 3x3."""
+    return ExperimentConfig(
+        name="table1",
+        dataset="cifar10",
+        model="resnet18",
+        cases=(
+            CaseSpec("clean"),
+            CaseSpec("badnet_2x2", AttackSpec("badnet", patch_size=2)),
+            CaseSpec("badnet_3x3", AttackSpec("badnet", patch_size=3)),
+        ),
+        scale=_resolve_scale(scale),
+        description="Detection evaluation on CIFAR-10 (ResNet-18); paper: 50 models/case.",
+    )
+
+
+def table2_config(scale: str | ExperimentScale = "tiny") -> ExperimentConfig:
+    """Table 2: ImageNet-10 + EfficientNet-B0, BadNet with large triggers."""
+    return ExperimentConfig(
+        name="table2",
+        dataset="imagenet10",
+        model="efficientnet_b0",
+        cases=(
+            CaseSpec("badnet_20x20", AttackSpec("badnet", patch_fraction=20 / 224)),
+            CaseSpec("badnet_25x25", AttackSpec("badnet", patch_fraction=25 / 224)),
+        ),
+        scale=_resolve_scale(scale),
+        description="Detection evaluation on the ImageNet subset (EfficientNet-B0); paper: 15 models/case.",
+    )
+
+
+def table3_config(scale: str | ExperimentScale = "tiny") -> ExperimentConfig:
+    """Table 3: stronger attacks (Latent, IAD) on VGG-16 + CIFAR-10."""
+    return ExperimentConfig(
+        name="table3",
+        dataset="cifar10",
+        model="vgg16",
+        cases=(
+            CaseSpec("clean"),
+            CaseSpec("latent_4x4", AttackSpec("latent", patch_size=4)),
+            CaseSpec("iad_full", AttackSpec("iad")),
+        ),
+        scale=_resolve_scale(scale),
+        description="Stronger backdoor attacks on VGG-16 / CIFAR-10; paper: 15 models/case.",
+    )
+
+
+def table4_config(scale: str | ExperimentScale = "tiny") -> ExperimentConfig:
+    """Table 4 (appendix): VGG-16 + CIFAR-10 with BadNet triggers."""
+    return ExperimentConfig(
+        name="table4",
+        dataset="cifar10",
+        model="vgg16",
+        cases=(
+            CaseSpec("clean"),
+            CaseSpec("badnet_2x2", AttackSpec("badnet", patch_size=2)),
+            CaseSpec("badnet_3x3", AttackSpec("badnet", patch_size=3)),
+        ),
+        scale=_resolve_scale(scale),
+        description="Detection evaluation on VGG-16 / CIFAR-10; paper: 15 models/case.",
+    )
+
+
+def table5_config(scale: str | ExperimentScale = "tiny") -> ExperimentConfig:
+    """Table 5 (appendix): MNIST, clean vs BadNet 2x2 / 3x3."""
+    return ExperimentConfig(
+        name="table5",
+        dataset="mnist",
+        model="basic_cnn",
+        cases=(
+            CaseSpec("clean"),
+            CaseSpec("badnet_2x2", AttackSpec("badnet", patch_size=2)),
+            CaseSpec("badnet_3x3", AttackSpec("badnet", patch_size=3)),
+        ),
+        scale=_resolve_scale(scale),
+        description="Detection evaluation on MNIST; paper: 50 models/case.",
+    )
+
+
+def table6_config(scale: str | ExperimentScale = "tiny") -> ExperimentConfig:
+    """Table 6 (appendix): GTSRB (43 classes), clean vs BadNet 2x2 / 3x3."""
+    return ExperimentConfig(
+        name="table6",
+        dataset="gtsrb",
+        model="resnet18",
+        cases=(
+            CaseSpec("clean"),
+            CaseSpec("badnet_2x2", AttackSpec("badnet", patch_size=2)),
+            CaseSpec("badnet_3x3", AttackSpec("badnet", patch_size=3)),
+        ),
+        scale=_resolve_scale(scale),
+        description="Detection evaluation on GTSRB; paper: 15 models/case.",
+    )
+
+
+def _resolve_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale not in SCALES:
+        raise KeyError(f"Unknown scale preset '{scale}'. Available: {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+TABLE_CONFIGS = {
+    "table1": table1_config,
+    "table2": table2_config,
+    "table3": table3_config,
+    "table4": table4_config,
+    "table5": table5_config,
+    "table6": table6_config,
+}

@@ -1,0 +1,56 @@
+"""Rendering experiment results as paper-style text tables.
+
+The benchmark harness prints these tables so that a run of
+``pytest benchmarks/ --benchmark-only`` regenerates the same rows the paper
+reports (Model Detection and Target Class Detection columns).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_rows", "detection_table_columns"]
+
+#: Column order matching Tables 1-6 of the paper.
+detection_table_columns: Sequence[str] = (
+    "case", "method", "accuracy", "asr", "l1_norm",
+    "clean", "backdoored", "correct", "correct_set", "wrong",
+)
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[Dict[str, object]],
+                 columns: Sequence[str] = detection_table_columns,
+                 title: str = "") -> str:
+    """Format ``rows`` (dicts) as an aligned text table with a header."""
+    rows = list(rows)
+    header = [str(c) for c in columns]
+    body: List[List[str]] = [
+        [_stringify(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+              for i in range(len(header))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Iterable[Dict[str, object]], title: str = "") -> str:
+    """Format rows using whatever keys the first row provides."""
+    rows = list(rows)
+    if not rows:
+        return title or "(no rows)"
+    columns = list(rows[0].keys())
+    return format_table(rows, columns=columns, title=title)

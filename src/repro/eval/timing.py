@@ -1,0 +1,99 @@
+"""Timing harness for Table 7 and §4.4 (detection time per class).
+
+The paper measures, per candidate class, the wall-clock time each detector
+spends reverse engineering a trigger for an EfficientNet-B0 model, and reports
+that USB is several-fold cheaper than NC and TABOR because (i) it runs far
+fewer optimization iterations and (ii) the targeted-UAP seed can be reused
+across models of the same architecture.
+
+:func:`measure_detection_times` reproduces that measurement for any trained
+model: it times ``reverse_engineer`` per class for every detector and returns
+both the per-class times (Table 7) and the per-model totals (§4.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.detection import TriggerReverseEngineeringDetector
+from ..data.dataset import Dataset
+from ..nn.layers import Module
+
+__all__ = ["ClassTiming", "TimingReport", "measure_detection_times"]
+
+
+@dataclass
+class ClassTiming:
+    """Per-class reverse-engineering wall-clock time for one detector."""
+
+    detector: str
+    per_class_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.per_class_seconds.values()))
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.per_class_seconds:
+            return 0.0
+        return self.total_seconds / len(self.per_class_seconds)
+
+
+@dataclass
+class TimingReport:
+    """Timing results for all detectors on one model (a Table-7 row group)."""
+
+    case_name: str
+    timings: List[ClassTiming]
+
+    def rows(self) -> List[Dict[str, object]]:
+        out: List[Dict[str, object]] = []
+        for timing in self.timings:
+            row: Dict[str, object] = {"case": self.case_name,
+                                      "method": timing.detector,
+                                      "total_s": round(timing.total_seconds, 2),
+                                      "mean_s": round(timing.mean_seconds, 2)}
+            for cls, seconds in sorted(timing.per_class_seconds.items()):
+                row[f"class_{cls}_s"] = round(seconds, 2)
+            out.append(row)
+        return out
+
+    def speedup_over(self, baseline: str, target: str = "USB") -> float:
+        """Paper-style headline: how many times faster ``target`` is than ``baseline``."""
+        by_name = {t.detector: t for t in self.timings}
+        if baseline not in by_name or target not in by_name:
+            raise KeyError("Both detectors must be present in the report.")
+        target_total = by_name[target].total_seconds
+        if target_total <= 0:
+            return float("inf")
+        return by_name[baseline].total_seconds / target_total
+
+
+def measure_detection_times(model: Module,
+                            detectors: Dict[str, TriggerReverseEngineeringDetector],
+                            classes: Optional[Sequence[int]] = None,
+                            case_name: str = "timing") -> TimingReport:
+    """Time per-class reverse engineering of every detector on ``model``."""
+    model.eval()
+    was_grad = [p.requires_grad for p in model.parameters()]
+    model.requires_grad_(False)
+    try:
+        timings: List[ClassTiming] = []
+        for name, detector in detectors.items():
+            class_list = list(classes) if classes is not None else list(
+                range(detector.clean_data.num_classes))
+            per_class: Dict[int, float] = {}
+            for target in class_list:
+                start = time.perf_counter()
+                detector.reverse_engineer(model, target)
+                per_class[target] = time.perf_counter() - start
+            timings.append(ClassTiming(detector=name, per_class_seconds=per_class))
+        return TimingReport(case_name=case_name, timings=timings)
+    finally:
+        for param, flag in zip(model.parameters(), was_grad):
+            param.requires_grad = flag

@@ -1,0 +1,24 @@
+"""Model zoo: the architectures used in the paper's evaluation."""
+
+from .basic_cnn import BasicCNN
+from .efficientnet import EfficientNet, MBConvBlock, SqueezeExcite, efficientnet_b0
+from .registry import MODEL_BUILDERS, build_model, register_model
+from .resnet import BasicBlock, ResNet, resnet18
+from .vgg import VGG, vgg11, vgg16
+
+__all__ = [
+    "BasicCNN",
+    "BasicBlock",
+    "ResNet",
+    "resnet18",
+    "VGG",
+    "vgg11",
+    "vgg16",
+    "EfficientNet",
+    "MBConvBlock",
+    "SqueezeExcite",
+    "efficientnet_b0",
+    "MODEL_BUILDERS",
+    "build_model",
+    "register_model",
+]

@@ -1,0 +1,54 @@
+"""The paper's "Basic model" (Appendix A.7).
+
+Two convolutional layers, each followed by ReLU and 2D average pooling, then
+two fully connected layers.  The paper's configuration for 28x28 MNIST is
+conv(1, 16, 5), conv(16, 32, 5), fc(512, 512), fc(512, 10); we keep those
+defaults but compute the flattened dimension from the input size so the same
+module works on any square input.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["BasicCNN"]
+
+
+class BasicCNN(nn.Module):
+    """Small CNN used for the paper's per-class trigger analysis (Fig. 5)."""
+
+    def __init__(self, in_channels: int = 1, num_classes: int = 10,
+                 image_size: int = 28, conv_channels: tuple[int, int] = (16, 32),
+                 hidden_dim: int = 512,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        c1, c2 = conv_channels
+        self.conv1 = nn.Conv2d(in_channels, c1, kernel_size=5, padding=2, rng=rng)
+        self.pool1 = nn.AvgPool2d(2)
+        self.conv2 = nn.Conv2d(c1, c2, kernel_size=5, padding=2, rng=rng)
+        self.pool2 = nn.AvgPool2d(2)
+        self.flatten = nn.Flatten()
+        spatial = image_size // 4
+        feature_dim = c2 * spatial * spatial
+        self.fc1 = nn.Linear(feature_dim, hidden_dim, rng=rng)
+        self.fc2 = nn.Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.conv1(x).relu())
+        x = self.pool2(self.conv2(x).relu())
+        x = self.flatten(x)
+        x = self.fc1(x).relu()
+        return self.fc2(x)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Penultimate-layer features (used by the Latent Backdoor attack)."""
+        x = self.pool1(self.conv1(x).relu())
+        x = self.pool2(self.conv2(x).relu())
+        x = self.flatten(x)
+        return self.fc1(x).relu()

@@ -1,0 +1,165 @@
+"""EfficientNet-B0-style network (Tan & Le, 2019), width-scalable for CPU.
+
+The model keeps EfficientNet's defining ingredients — MBConv blocks with
+depthwise separable convolutions, squeeze-and-excitation, SiLU activations and
+an inverted-bottleneck expansion — while scaling channel counts down via
+``width_mult`` so that training on CPU remains feasible.  The stage layout
+follows B0 (seven stages), with the per-stage repeat counts reduced at small
+width multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["SqueezeExcite", "MBConvBlock", "EfficientNet", "efficientnet_b0"]
+
+
+@dataclass(frozen=True)
+class _StageSpec:
+    """One EfficientNet stage: expansion, channels, repeats, stride, kernel."""
+
+    expand_ratio: int
+    channels: int
+    repeats: int
+    stride: int
+    kernel_size: int
+
+
+# EfficientNet-B0 stage table (channels given at width_mult=1.0).
+_B0_STAGES = [
+    _StageSpec(1, 16, 1, 1, 3),
+    _StageSpec(6, 24, 2, 2, 3),
+    _StageSpec(6, 40, 2, 2, 5),
+    _StageSpec(6, 80, 3, 2, 3),
+    _StageSpec(6, 112, 3, 1, 5),
+    _StageSpec(6, 192, 4, 2, 5),
+    _StageSpec(6, 320, 1, 1, 3),
+]
+
+
+def _scale_channels(channels: int, width_mult: float, minimum: int = 4) -> int:
+    return max(minimum, int(round(channels * width_mult)))
+
+
+def _scale_repeats(repeats: int, depth_mult: float) -> int:
+    return max(1, int(round(repeats * depth_mult)))
+
+
+class SqueezeExcite(nn.Module):
+    """Squeeze-and-excitation channel attention."""
+
+    def __init__(self, channels: int, reduction: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        squeezed = max(1, channels // reduction)
+        self.fc1 = nn.Conv2d(channels, squeezed, kernel_size=1, rng=rng)
+        self.fc2 = nn.Conv2d(squeezed, channels, kernel_size=1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = F.adaptive_avg_pool2d(x)
+        scale = F.silu(self.fc1(scale))
+        scale = self.fc2(scale).sigmoid()
+        return x * scale
+
+
+class MBConvBlock(nn.Module):
+    """Mobile inverted-bottleneck convolution block with SE and skip connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, expand_ratio: int,
+                 stride: int, kernel_size: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.use_residual = stride == 1 and in_channels == out_channels
+        expanded = in_channels * expand_ratio
+
+        if expand_ratio != 1:
+            self.expand_conv = nn.Conv2d(in_channels, expanded, kernel_size=1,
+                                         bias=False, rng=rng)
+            self.expand_bn = nn.BatchNorm2d(expanded)
+        else:
+            self.expand_conv = None
+            self.expand_bn = None
+
+        padding = kernel_size // 2
+        self.depthwise = nn.Conv2d(expanded, expanded, kernel_size=kernel_size,
+                                   stride=stride, padding=padding, groups=expanded,
+                                   bias=False, rng=rng)
+        self.depthwise_bn = nn.BatchNorm2d(expanded)
+        self.se = SqueezeExcite(expanded, rng=rng)
+        self.project = nn.Conv2d(expanded, out_channels, kernel_size=1, bias=False,
+                                 rng=rng)
+        self.project_bn = nn.BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x
+        if self.expand_conv is not None:
+            out = F.silu(self.expand_bn(self.expand_conv(out)))
+        out = F.silu(self.depthwise_bn(self.depthwise(out)))
+        out = self.se(out)
+        out = self.project_bn(self.project(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class EfficientNet(nn.Module):
+    """EfficientNet with configurable width/depth multipliers."""
+
+    def __init__(self, num_classes: int = 10, in_channels: int = 3,
+                 width_mult: float = 0.25, depth_mult: float = 0.5,
+                 stages: Optional[List[_StageSpec]] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        stages = stages or _B0_STAGES
+
+        stem_channels = _scale_channels(32, width_mult)
+        self.stem_conv = nn.Conv2d(in_channels, stem_channels, kernel_size=3, stride=2,
+                                   padding=1, bias=False, rng=rng)
+        self.stem_bn = nn.BatchNorm2d(stem_channels)
+
+        blocks: list[nn.Module] = []
+        channels = stem_channels
+        for spec in stages:
+            out_channels = _scale_channels(spec.channels, width_mult)
+            repeats = _scale_repeats(spec.repeats, depth_mult)
+            for repeat in range(repeats):
+                stride = spec.stride if repeat == 0 else 1
+                blocks.append(MBConvBlock(channels, out_channels, spec.expand_ratio,
+                                          stride, spec.kernel_size, rng=rng))
+                channels = out_channels
+        self.blocks = nn.Sequential(*blocks)
+
+        head_channels = _scale_channels(1280, width_mult, minimum=32)
+        self.head_conv = nn.Conv2d(channels, head_channels, kernel_size=1, bias=False,
+                                   rng=rng)
+        self.head_bn = nn.BatchNorm2d(head_channels)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.fc = nn.Linear(head_channels, num_classes, rng=rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Pooled features before the classifier."""
+        x = F.silu(self.stem_bn(self.stem_conv(x)))
+        x = self.blocks(x)
+        x = F.silu(self.head_bn(self.head_conv(x)))
+        return self.flatten(self.pool(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))
+
+
+def efficientnet_b0(num_classes: int = 10, in_channels: int = 3,
+                    width_mult: float = 0.25, depth_mult: float = 0.5,
+                    rng: Optional[np.random.Generator] = None) -> EfficientNet:
+    """EfficientNet-B0-style model (scaled for CPU by default)."""
+    return EfficientNet(num_classes=num_classes, in_channels=in_channels,
+                        width_mult=width_mult, depth_mult=depth_mult, rng=rng)

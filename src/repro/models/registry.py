@@ -1,0 +1,53 @@
+"""Model registry: build any model in the zoo by name.
+
+The experiment configurations refer to models by string name so that the same
+harness drives every table; this module resolves those names.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..nn.layers import Module
+from .basic_cnn import BasicCNN
+from .efficientnet import efficientnet_b0
+from .resnet import resnet18
+from .vgg import vgg11, vgg16
+
+__all__ = ["MODEL_BUILDERS", "build_model", "register_model"]
+
+ModelBuilder = Callable[..., Module]
+
+MODEL_BUILDERS: Dict[str, ModelBuilder] = {}
+
+
+def register_model(name: str, builder: ModelBuilder) -> None:
+    """Register a model builder under ``name`` (overwrites existing entries)."""
+    MODEL_BUILDERS[name] = builder
+
+
+def build_model(name: str, num_classes: int, in_channels: int,
+                image_size: int = 32, rng: Optional[np.random.Generator] = None,
+                **kwargs) -> Module:
+    """Instantiate a registered model.
+
+    Parameters not understood by a given builder (e.g. ``image_size`` for
+    ResNet) are filtered out, so experiment configs can pass a uniform set.
+    """
+    if name not in MODEL_BUILDERS:
+        raise KeyError(f"Unknown model '{name}'. Available: {sorted(MODEL_BUILDERS)}")
+    builder = MODEL_BUILDERS[name]
+    call_kwargs = dict(num_classes=num_classes, in_channels=in_channels, rng=rng,
+                       **kwargs)
+    if name in ("basic_cnn", "vgg16", "vgg11"):
+        call_kwargs["image_size"] = image_size
+    return builder(**call_kwargs)
+
+
+register_model("basic_cnn", BasicCNN)
+register_model("resnet18", resnet18)
+register_model("vgg16", vgg16)
+register_model("vgg11", vgg11)
+register_model("efficientnet_b0", efficientnet_b0)

@@ -1,0 +1,103 @@
+"""ResNet-18 (He et al., 2016), width-scalable for CPU training.
+
+The architecture follows the CIFAR variant of ResNet-18: an initial 3x3
+convolution (no aggressive downsampling), four stages of two BasicBlocks each,
+global average pooling, and a linear classifier.  ``base_width`` controls the
+channel count of the first stage (64 in the paper; the reproduction defaults
+to 16 so that training dozens of models on CPU remains feasible — the
+structure, depth and skip connections are unchanged).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["BasicBlock", "ResNet", "resnet18"]
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, kernel_size=3,
+                               stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, kernel_size=3,
+                               stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, kernel_size=1, stride=stride,
+                          bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + self.shortcut(x)).relu()
+
+
+class ResNet(nn.Module):
+    """Configurable-depth residual network."""
+
+    def __init__(self, blocks_per_stage: List[int], num_classes: int = 10,
+                 in_channels: int = 3, base_width: int = 16,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.base_width = base_width
+        widths = [base_width, base_width * 2, base_width * 4, base_width * 8]
+
+        self.conv1 = nn.Conv2d(in_channels, base_width, kernel_size=3, stride=1,
+                               padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(base_width)
+
+        self._in_width = base_width
+        self.stage1 = self._make_stage(widths[0], blocks_per_stage[0], stride=1, rng=rng)
+        self.stage2 = self._make_stage(widths[1], blocks_per_stage[1], stride=2, rng=rng)
+        self.stage3 = self._make_stage(widths[2], blocks_per_stage[2], stride=2, rng=rng)
+        self.stage4 = self._make_stage(widths[3], blocks_per_stage[3], stride=2, rng=rng)
+
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.fc = nn.Linear(widths[3], num_classes, rng=rng)
+
+    def _make_stage(self, width: int, blocks: int, stride: int,
+                    rng: Optional[np.random.Generator]) -> nn.Sequential:
+        layers: list[nn.Module] = []
+        strides = [stride] + [1] * (blocks - 1)
+        for block_stride in strides:
+            layers.append(BasicBlock(self._in_width, width, block_stride, rng=rng))
+            self._in_width = width
+        return nn.Sequential(*layers)
+
+    def features(self, x: Tensor) -> Tensor:
+        """Penultimate-layer (pooled) features."""
+        x = self.bn1(self.conv1(x)).relu()
+        x = self.stage1(x)
+        x = self.stage2(x)
+        x = self.stage3(x)
+        x = self.stage4(x)
+        return self.flatten(self.pool(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.features(x))
+
+
+def resnet18(num_classes: int = 10, in_channels: int = 3, base_width: int = 16,
+             rng: Optional[np.random.Generator] = None) -> ResNet:
+    """ResNet-18: four stages of two BasicBlocks each."""
+    return ResNet([2, 2, 2, 2], num_classes=num_classes, in_channels=in_channels,
+                  base_width=base_width, rng=rng)

@@ -1,0 +1,86 @@
+"""VGG-16 (Simonyan & Zisserman, 2015), width-scalable for CPU training.
+
+Thirteen 3x3 convolutional layers in five blocks separated by max pooling,
+followed by a classifier head.  ``base_width`` scales all channel counts by
+``base_width / 64`` relative to the original (64-128-256-512-512) pattern;
+the structure and depth are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..nn.tensor import Tensor
+
+__all__ = ["VGG", "vgg16", "vgg11"]
+
+# Layer configuration strings follow the torchvision convention:
+# integers are conv output channels, "M" is a 2x2 max pool.
+_CONFIGS = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+              512, 512, 512, "M", 512, 512, 512, "M"],
+}
+
+
+class VGG(nn.Module):
+    """VGG-style plain convolutional network with batch normalization."""
+
+    def __init__(self, config: Sequence, num_classes: int = 10, in_channels: int = 3,
+                 base_width: int = 16, image_size: int = 32,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.num_classes = num_classes
+        self.base_width = base_width
+        scale = base_width / 64.0
+
+        layers: List[nn.Module] = []
+        channels = in_channels
+        spatial = image_size
+        for item in config:
+            if item == "M":
+                if spatial >= 2:
+                    layers.append(nn.MaxPool2d(2))
+                    spatial //= 2
+                continue
+            out_channels = max(4, int(round(item * scale)))
+            layers.append(nn.Conv2d(channels, out_channels, kernel_size=3, padding=1,
+                                    bias=False, rng=rng))
+            layers.append(nn.BatchNorm2d(out_channels))
+            layers.append(nn.ReLU())
+            channels = out_channels
+
+        self.feature_extractor = nn.Sequential(*layers)
+        self.pool = nn.AdaptiveAvgPool2d(1)
+        self.flatten = nn.Flatten()
+        self.classifier = nn.Sequential(
+            nn.Linear(channels, channels, rng=rng),
+            nn.ReLU(),
+            nn.Linear(channels, num_classes, rng=rng),
+        )
+        self._feature_dim = channels
+
+    def features(self, x: Tensor) -> Tensor:
+        """Pooled convolutional features before the classifier head."""
+        x = self.feature_extractor(x)
+        return self.flatten(self.pool(x))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+def vgg16(num_classes: int = 10, in_channels: int = 3, base_width: int = 16,
+          image_size: int = 32, rng: Optional[np.random.Generator] = None) -> VGG:
+    """VGG-16 with batch normalization."""
+    return VGG(_CONFIGS["vgg16"], num_classes=num_classes, in_channels=in_channels,
+               base_width=base_width, image_size=image_size, rng=rng)
+
+
+def vgg11(num_classes: int = 10, in_channels: int = 3, base_width: int = 16,
+          image_size: int = 32, rng: Optional[np.random.Generator] = None) -> VGG:
+    """VGG-11 (lighter variant, useful for fast tests)."""
+    return VGG(_CONFIGS["vgg11"], num_classes=num_classes, in_channels=in_channels,
+               base_width=base_width, image_size=image_size, rng=rng)

@@ -1,0 +1,71 @@
+"""``repro.nn`` — a NumPy-based neural-network substrate with autograd.
+
+This package replaces PyTorch for the reproduction: it provides tensors with
+reverse-mode automatic differentiation, convolutional/pooling/normalization
+layers, losses, optimizers and serialization.  See ``DESIGN.md`` for the
+substitution rationale.
+"""
+
+from . import functional
+from . import init
+from .layers import (
+    AdaptiveAvgPool2d,
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SiLU,
+    Tanh,
+)
+from .losses import CrossEntropyLoss, MSELoss, NLLLoss
+from .optim import SGD, Adam, Optimizer
+from .serialization import load_model, load_state_dict, save_model, save_state_dict
+from .tensor import Tensor, concatenate, stack, where
+
+__all__ = [
+    "functional",
+    "init",
+    "Tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "SiLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "AdaptiveAvgPool2d",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "NLLLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "save_model",
+    "load_model",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,375 @@
+"""Differentiable functional operations for the ``repro.nn`` substrate.
+
+This module implements the convolutional / pooling / normalization primitives
+used by the model zoo and by the defenses.  Convolution uses the im2col
+transformation so that the heavy lifting is a single large GEMM, which is the
+fastest approach available in pure NumPy.
+
+All functions accept and return :class:`repro.nn.tensor.Tensor` instances and
+participate in the autograd graph.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "adaptive_avg_pool2d",
+    "linear",
+    "batch_norm",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "mse_loss",
+    "dropout",
+    "one_hot",
+    "silu",
+    "leaky_relu",
+    "uniform_filter2d",
+]
+
+
+# ---------------------------------------------------------------------- #
+# im2col / col2im
+# ---------------------------------------------------------------------- #
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int,
+           padding: int) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, out_h, out_w, C * kernel_h * kernel_w)``.
+    out_h, out_w:
+        Spatial output dimensions.
+    """
+    batch, channels, height, width = x.shape
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+    strides = x.strides
+    shape = (batch, channels, out_h, out_w, kernel_h, kernel_w)
+    window_strides = (
+        strides[0],
+        strides[1],
+        strides[2] * stride,
+        strides[3] * stride,
+        strides[2],
+        strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=window_strides)
+    # (N, out_h, out_w, C, kh, kw) -> (N, out_h, out_w, C*kh*kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h, out_w, channels * kernel_h * kernel_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel_h: int,
+           kernel_w: int, stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back into an image."""
+    batch, channels, height, width = x_shape
+    out_h = (height + 2 * padding - kernel_h) // stride + 1
+    out_w = (width + 2 * padding - kernel_w) // stride + 1
+
+    padded = np.zeros(
+        (batch, channels, height + 2 * padding, width + 2 * padding),
+        dtype=cols.dtype)
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel_h, kernel_w)
+    cols = cols.transpose(0, 3, 1, 2, 4, 5)  # (N, C, out_h, out_w, kh, kw)
+
+    for i in range(kernel_h):
+        i_end = i + stride * out_h
+        for j in range(kernel_w):
+            j_end = j + stride * out_w
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, :, :, i, j]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ---------------------------------------------------------------------- #
+# Convolution
+# ---------------------------------------------------------------------- #
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """2D convolution over ``(N, C, H, W)`` inputs.
+
+    ``groups > 1`` implements grouped / depthwise convolution (used by the
+    EfficientNet-style model).
+    """
+    batch, in_channels, _, _ = x.data.shape
+    out_channels, in_per_group, kernel_h, kernel_w = weight.data.shape
+    if in_channels != in_per_group * groups:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {in_channels} channels, "
+            f"weight expects {in_per_group * groups} (groups={groups}).")
+
+    cols, out_h, out_w = im2col(x.data, kernel_h, kernel_w, stride, padding)
+
+    if groups == 1:
+        w_mat = weight.data.reshape(out_channels, -1)  # (OC, C*kh*kw)
+        out = cols @ w_mat.T  # (N, oh, ow, OC)
+    else:
+        cols_g = cols.reshape(batch, out_h, out_w, groups, in_per_group * kernel_h * kernel_w)
+        w_g = weight.data.reshape(groups, out_channels // groups, -1)
+        out = np.einsum("nhwgk,gok->nhwgo", cols_g, w_g)
+        out = out.reshape(batch, out_h, out_w, out_channels)
+
+    out = out.transpose(0, 3, 1, 2)  # (N, OC, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_out = grad.transpose(0, 2, 3, 1)  # (N, oh, ow, OC)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+        if groups == 1:
+            if weight.requires_grad:
+                grad_w = np.einsum("nhwo,nhwk->ok", grad_out, cols)
+                weight._accumulate(grad_w.reshape(weight.data.shape))
+            if x.requires_grad:
+                w_mat_local = weight.data.reshape(out_channels, -1)
+                grad_cols = grad_out @ w_mat_local  # (N, oh, ow, C*kh*kw)
+                grad_x = col2im(grad_cols, x.data.shape, kernel_h, kernel_w,
+                                stride, padding)
+                x._accumulate(grad_x)
+        else:
+            grad_out_g = grad_out.reshape(batch, out_h, out_w, groups,
+                                          out_channels // groups)
+            cols_g_local = cols.reshape(batch, out_h, out_w, groups,
+                                        in_per_group * kernel_h * kernel_w)
+            if weight.requires_grad:
+                grad_w = np.einsum("nhwgo,nhwgk->gok", grad_out_g, cols_g_local)
+                weight._accumulate(grad_w.reshape(weight.data.shape))
+            if x.requires_grad:
+                w_g_local = weight.data.reshape(groups, out_channels // groups, -1)
+                grad_cols = np.einsum("nhwgo,gok->nhwgk", grad_out_g, w_g_local)
+                grad_cols = grad_cols.reshape(batch, out_h, out_w, -1)
+                grad_x = col2im(grad_cols, x.data.shape, kernel_h, kernel_w,
+                                stride, padding)
+                x._accumulate(grad_x)
+
+    return Tensor._make(out, parents, backward)
+
+
+# ---------------------------------------------------------------------- #
+# Pooling
+# ---------------------------------------------------------------------- #
+def max_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel_size
+    cols, out_h, out_w = im2col(x.data, kernel_size, kernel_size, stride, 0)
+    batch, channels = x.data.shape[:2]
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel_size * kernel_size)
+    argmax = cols.argmax(axis=-1)
+    out = np.take_along_axis(cols, argmax[..., None], axis=-1)[..., 0]
+    out = out.transpose(0, 3, 1, 2)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_perm = grad.transpose(0, 2, 3, 1)  # (N, oh, ow, C)
+        grad_cols = np.zeros(
+            (batch, out_h, out_w, channels, kernel_size * kernel_size),
+            dtype=grad.dtype)
+        np.put_along_axis(grad_cols, argmax[..., None], grad_perm[..., None], axis=-1)
+        grad_cols = grad_cols.reshape(batch, out_h, out_w,
+                                      channels * kernel_size * kernel_size)
+        grad_x = col2im(grad_cols, x.data.shape, kernel_size, kernel_size, stride, 0)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over (possibly strided) windows."""
+    stride = stride or kernel_size
+    cols, out_h, out_w = im2col(x.data, kernel_size, kernel_size, stride, 0)
+    batch, channels = x.data.shape[:2]
+    cols = cols.reshape(batch, out_h, out_w, channels, kernel_size * kernel_size)
+    out = cols.mean(axis=-1).transpose(0, 3, 1, 2)
+    window = kernel_size * kernel_size
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        grad_perm = grad.transpose(0, 2, 3, 1) / window
+        grad_cols = np.repeat(grad_perm[..., None], window, axis=-1)
+        grad_cols = grad_cols.reshape(batch, out_h, out_w, channels * window)
+        grad_x = col2im(grad_cols, x.data.shape, kernel_size, kernel_size, stride, 0)
+        x._accumulate(grad_x)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Adaptive average pooling; only ``output_size == 1`` (global) is supported."""
+    if output_size != 1:
+        raise NotImplementedError("Only global average pooling (output_size=1) is supported.")
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+# ---------------------------------------------------------------------- #
+# Linear / normalization
+# ---------------------------------------------------------------------- #
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
+    """Batch normalization over the channel dimension of ``(N, C, H, W)`` or ``(N, C)``.
+
+    ``running_mean`` / ``running_var`` are plain NumPy buffers updated in place
+    during training.
+    """
+    if x.data.ndim == 4:
+        axes = (0, 2, 3)
+        shape = (1, -1, 1, 1)
+    elif x.data.ndim == 2:
+        axes = (0,)
+        shape = (1, -1)
+    else:
+        raise ValueError("batch_norm expects 2D or 4D input.")
+
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        running_mean *= (1 - momentum)
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= (1 - momentum)
+        running_var += momentum * var.data.reshape(-1)
+        x_hat = (x - mean) / (var + eps).sqrt()
+    else:
+        mean_arr = running_mean.reshape(shape)
+        var_arr = running_var.reshape(shape)
+        x_hat = (x - Tensor(mean_arr)) / Tensor(np.sqrt(var_arr + eps))
+
+    return x_hat * gamma.reshape(*shape) + beta.reshape(*shape)
+
+
+# ---------------------------------------------------------------------- #
+# Activations
+# ---------------------------------------------------------------------- #
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation: ``x * sigmoid(x)``."""
+    return x * x.sigmoid()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU activation."""
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Softmax and losses
+# ---------------------------------------------------------------------- #
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer labels to a one-hot matrix."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float32)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Negative log-likelihood loss given log-probabilities."""
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    num_classes = log_probs.data.shape[-1]
+    oh = one_hot(targets, num_classes)
+    picked = (log_probs * Tensor(oh)).sum(axis=-1)
+    return -picked.mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Cross-entropy loss from raw logits with optional label smoothing."""
+    num_classes = logits.data.shape[-1]
+    log_probs = log_softmax(logits, axis=-1)
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    oh = one_hot(targets, num_classes)
+    if label_smoothing > 0.0:
+        oh = oh * (1.0 - label_smoothing) + label_smoothing / num_classes
+    return -(log_probs * Tensor(oh)).sum(axis=-1).mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error loss."""
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout with keep-probability scaling."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p).astype(x.data.dtype) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+# ---------------------------------------------------------------------- #
+# Fixed-kernel filtering (used by the differentiable SSIM)
+# ---------------------------------------------------------------------- #
+def uniform_filter2d(x: Tensor, window: int) -> Tensor:
+    """Apply a uniform (box) filter per channel, differentiable w.r.t. ``x``.
+
+    Implemented as a depthwise convolution with a constant kernel; the kernel
+    itself receives no gradient.
+    """
+    channels = x.data.shape[1]
+    kernel = np.full((channels, 1, window, window), 1.0 / (window * window),
+                     dtype=np.float32)
+    weight = Tensor(kernel, requires_grad=False)
+    return conv2d(x, weight, stride=1, padding=0, groups=channels)

@@ -1,0 +1,71 @@
+"""Weight initialization schemes for ``repro.nn`` modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+    "ones",
+]
+
+
+def _fan_in_out(shape) -> tuple[int, int]:
+    """Compute fan-in / fan-out for a weight tensor of ``shape``."""
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-normal initialization, appropriate for ReLU networks."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He-uniform initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-normal initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in + fan_out, 1))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def xavier_uniform(shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros initialization (biases, BatchNorm beta)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    """All-ones initialization (BatchNorm gamma)."""
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,40 @@
+"""Loss-function modules wrapping ``repro.nn.functional`` losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "NLLLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy from raw logits with optional label smoothing."""
+
+    def __init__(self, label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1).")
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets, label_smoothing=self.label_smoothing)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred: Tensor, target: Tensor) -> Tensor:
+        if not isinstance(target, Tensor):
+            target = Tensor(target)
+        return F.mse_loss(pred, target)
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood given log-probabilities."""
+
+    def forward(self, log_probs: Tensor, targets: np.ndarray) -> Tensor:
+        return F.nll_loss(log_probs, targets)

@@ -1,0 +1,37 @@
+"""Saving and loading model state dictionaries as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_model", "load_model"]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Serialize a state dict to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_model(model: Module, path: str) -> None:
+    """Save ``model.state_dict()`` to ``path``."""
+    save_state_dict(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load parameters from ``path`` into ``model`` (in place) and return it."""
+    model.load_state_dict(load_state_dict(path))
+    return model

@@ -1,0 +1,31 @@
+"""Shared utilities: SSIM, image helpers, RNG management, logging."""
+
+from .image import (
+    clip01,
+    l1_norm,
+    l2_norm,
+    linf_norm,
+    resize_nearest,
+    to_grid,
+    trigger_iou,
+)
+from .logging import get_logger, timed
+from .rng import derive_rng, seeded_rng, spawn_rngs
+from .ssim import ssim, ssim_tensor
+
+__all__ = [
+    "clip01",
+    "l1_norm",
+    "l2_norm",
+    "linf_norm",
+    "resize_nearest",
+    "to_grid",
+    "trigger_iou",
+    "get_logger",
+    "timed",
+    "derive_rng",
+    "seeded_rng",
+    "spawn_rngs",
+    "ssim",
+    "ssim_tensor",
+]

@@ -1,0 +1,83 @@
+"""Image helpers shared by datasets, attacks, and defenses."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "clip01",
+    "l1_norm",
+    "l2_norm",
+    "linf_norm",
+    "to_grid",
+    "resize_nearest",
+    "trigger_iou",
+]
+
+
+def clip01(images: np.ndarray) -> np.ndarray:
+    """Clip image values to the valid ``[0, 1]`` range."""
+    return np.clip(images, 0.0, 1.0)
+
+
+def l1_norm(x: np.ndarray) -> float:
+    """Sum of absolute values (the paper's reversed-trigger size metric)."""
+    return float(np.abs(x).sum())
+
+
+def l2_norm(x: np.ndarray) -> float:
+    """Euclidean norm of the flattened array."""
+    return float(np.sqrt((x.astype(np.float64) ** 2).sum()))
+
+
+def linf_norm(x: np.ndarray) -> float:
+    """Maximum absolute value."""
+    return float(np.abs(x).max()) if x.size else 0.0
+
+
+def resize_nearest(image: np.ndarray, size: Tuple[int, int]) -> np.ndarray:
+    """Nearest-neighbour resize of a ``(C, H, W)`` image to ``size=(H', W')``."""
+    channels, height, width = image.shape
+    new_h, new_w = size
+    row_idx = (np.arange(new_h) * height / new_h).astype(int)
+    col_idx = (np.arange(new_w) * width / new_w).astype(int)
+    return image[:, row_idx][:, :, col_idx]
+
+
+def to_grid(images: np.ndarray, columns: int = 8, padding: int = 1) -> np.ndarray:
+    """Arrange a batch of ``(N, C, H, W)`` images into a single grid image.
+
+    Used by the figure-reproduction benches to emit trigger visualizations as
+    arrays that can be saved or inspected.
+    """
+    count, channels, height, width = images.shape
+    columns = min(columns, count)
+    rows = int(np.ceil(count / columns))
+    grid = np.zeros(
+        (channels, rows * (height + padding) + padding,
+         columns * (width + padding) + padding),
+        dtype=images.dtype)
+    for index in range(count):
+        row, col = divmod(index, columns)
+        top = padding + row * (height + padding)
+        left = padding + col * (width + padding)
+        grid[:, top:top + height, left:left + width] = images[index]
+    return grid
+
+
+def trigger_iou(mask_a: np.ndarray, mask_b: np.ndarray,
+                threshold: float = 0.5) -> float:
+    """Intersection-over-union of two trigger masks after binarization.
+
+    Used to quantify how well a reversed trigger localizes the true trigger
+    (the figure-style evaluation in the paper is visual; IoU provides a
+    numeric stand-in).
+    """
+    a = np.abs(mask_a) >= threshold * np.abs(mask_a).max() if mask_a.max() else np.zeros_like(mask_a, bool)
+    b = np.abs(mask_b) >= threshold * np.abs(mask_b).max() if mask_b.max() else np.zeros_like(mask_b, bool)
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 0.0
+    return float(np.logical_and(a, b).sum() / union)

@@ -1,0 +1,44 @@
+"""Minimal structured logging used across the experiment harness."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["get_logger", "timed"]
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_configured = False
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """Return a logger configured to emit to stderr once per process."""
+    global _configured
+    if not _configured:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        _configured = True
+    return logging.getLogger(name)
+
+
+@contextmanager
+def timed(label: str, logger: logging.Logger | None = None) -> Iterator[dict]:
+    """Context manager measuring wall-clock time of a block.
+
+    Yields a dict whose ``seconds`` key is filled when the block exits; also
+    logs the duration if a logger is supplied.
+    """
+    record: dict = {"label": label, "seconds": None}
+    start = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record["seconds"] = time.perf_counter() - start
+        if logger is not None:
+            logger.info("%s took %.3fs", label, record["seconds"])

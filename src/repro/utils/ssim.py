@@ -1,0 +1,100 @@
+"""Structural similarity index (SSIM), Wang et al. 2004.
+
+Two flavours are provided:
+
+* :func:`ssim` — plain NumPy, for evaluation and reporting.
+* :func:`ssim_tensor` — differentiable version built on the ``repro.nn``
+  autograd engine, used inside the USB trigger-optimization loss (Alg. 2 of
+  the paper: ``L = CE - SSIM(x, x') + ||mask||_1``).
+
+Both use a uniform (box) filter window, which is the common implementation
+choice when a Gaussian window is not required; the paper does not specify the
+window type and the detection behaviour is insensitive to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+__all__ = ["ssim", "ssim_tensor"]
+
+_C1 = 0.01 ** 2
+_C2 = 0.03 ** 2
+
+
+def _box_filter(x: np.ndarray, window: int) -> np.ndarray:
+    """Apply a per-channel box filter to an ``(N, C, H, W)`` array."""
+    n, c, h, w = x.shape
+    out_h, out_w = h - window + 1, w - window + 1
+    # Integral-image approach keeps this O(N*C*H*W).
+    padded = np.zeros((n, c, h + 1, w + 1), dtype=np.float64)
+    padded[:, :, 1:, 1:] = np.cumsum(np.cumsum(x, axis=2), axis=3)
+    total = (padded[:, :, window:, window:]
+             - padded[:, :, :-window, window:]
+             - padded[:, :, window:, :-window]
+             + padded[:, :, :-window, :-window])
+    return (total / (window * window))[:, :, :out_h, :out_w]
+
+
+def ssim(x: np.ndarray, y: np.ndarray, window: int = 7,
+         data_range: float = 1.0) -> float:
+    """Mean SSIM between image batches ``x`` and ``y`` of shape ``(N, C, H, W)``.
+
+    Returns a scalar in ``[-1, 1]`` (1 means identical images).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"SSIM inputs must share a shape, got {x.shape} vs {y.shape}.")
+    if x.ndim != 4:
+        raise ValueError("SSIM expects (N, C, H, W) batches.")
+    window = min(window, x.shape[2], x.shape[3])
+
+    c1 = _C1 * data_range ** 2
+    c2 = _C2 * data_range ** 2
+
+    mu_x = _box_filter(x, window)
+    mu_y = _box_filter(y, window)
+    mu_xx = _box_filter(x * x, window)
+    mu_yy = _box_filter(y * y, window)
+    mu_xy = _box_filter(x * y, window)
+
+    sigma_x = mu_xx - mu_x ** 2
+    sigma_y = mu_yy - mu_y ** 2
+    sigma_xy = mu_xy - mu_x * mu_y
+
+    numerator = (2 * mu_x * mu_y + c1) * (2 * sigma_xy + c2)
+    denominator = (mu_x ** 2 + mu_y ** 2 + c1) * (sigma_x + sigma_y + c2)
+    return float(np.mean(numerator / denominator))
+
+
+def ssim_tensor(x: Tensor, y: Tensor, window: int = 7,
+                data_range: float = 1.0) -> Tensor:
+    """Differentiable mean SSIM between ``(N, C, H, W)`` tensors.
+
+    Gradients flow to both ``x`` and ``y``; in the USB loss only ``y`` (the
+    perturbed image) carries gradients back to the trigger and mask.
+    """
+    if x.data.shape != y.data.shape:
+        raise ValueError("SSIM inputs must share a shape.")
+    window = min(window, x.data.shape[2], x.data.shape[3])
+
+    c1 = _C1 * data_range ** 2
+    c2 = _C2 * data_range ** 2
+
+    mu_x = F.uniform_filter2d(x, window)
+    mu_y = F.uniform_filter2d(y, window)
+    mu_xx = F.uniform_filter2d(x * x, window)
+    mu_yy = F.uniform_filter2d(y * y, window)
+    mu_xy = F.uniform_filter2d(x * y, window)
+
+    sigma_x = mu_xx - mu_x * mu_x
+    sigma_y = mu_yy - mu_y * mu_y
+    sigma_xy = mu_xy - mu_x * mu_y
+
+    numerator = (mu_x * mu_y * 2.0 + c1) * (sigma_xy * 2.0 + c2)
+    denominator = (mu_x * mu_x + mu_y * mu_y + c1) * (sigma_x + sigma_y + c2)
+    return (numerator / denominator).mean()

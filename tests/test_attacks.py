@@ -1,0 +1,230 @@
+"""Tests for trigger primitives and the four backdoor attacks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import (
+    BadNetAttack,
+    BlendedAttack,
+    InputAwareDynamicAttack,
+    LatentBackdoorAttack,
+    Trigger,
+    TriggerGenerator,
+    apply_trigger,
+    make_patch_trigger,
+    poison_indices,
+    random_patch_location,
+)
+from repro.data import make_synthetic_dataset
+from repro.models import BasicCNN
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_dataset(4, 16, 3, 10, seed=0, name="attack-test")
+
+
+class TestTriggerPrimitives:
+    def test_trigger_validation(self):
+        with pytest.raises(ValueError):
+            Trigger(pattern=np.zeros((8, 8)), mask=np.zeros((1, 8, 8)))
+        with pytest.raises(ValueError):
+            Trigger(pattern=np.zeros((3, 8, 8)), mask=np.zeros((3, 8, 8)))
+        with pytest.raises(ValueError):
+            Trigger(pattern=np.zeros((3, 8, 8)), mask=np.zeros((1, 4, 4)))
+
+    def test_patch_trigger_mask_support(self, rng):
+        trigger = make_patch_trigger((3, 16, 16), patch_size=3, rng=rng)
+        assert trigger.mask.sum() == pytest.approx(9.0)
+        assert trigger.l1_norm > 0
+
+    def test_patch_trigger_fixed_location(self, rng):
+        trigger = make_patch_trigger((3, 16, 16), patch_size=2, rng=rng,
+                                     location=(0, 0))
+        assert trigger.mask[0, :2, :2].sum() == pytest.approx(4.0)
+        assert trigger.mask[0, 2:, :].sum() == 0.0
+
+    def test_patch_trigger_solid_color(self, rng):
+        trigger = make_patch_trigger((3, 8, 8), patch_size=2, rng=rng,
+                                     color=np.array([1.0, 0.0, 0.0]))
+        top, left = np.argwhere(trigger.mask[0] > 0)[0]
+        np.testing.assert_allclose(trigger.pattern[:, top, left], [1.0, 0.0, 0.0])
+
+    def test_patch_larger_than_image_raises(self, rng):
+        with pytest.raises(ValueError):
+            make_patch_trigger((3, 8, 8), patch_size=10, rng=rng)
+
+    def test_apply_trigger_only_changes_masked_region(self, rng):
+        trigger = make_patch_trigger((3, 16, 16), patch_size=3, rng=rng,
+                                     location=(4, 4))
+        images = rng.random((5, 3, 16, 16)).astype(np.float32)
+        out = trigger.apply(images)
+        unmasked = trigger.mask[0] == 0
+        np.testing.assert_allclose(out[:, :, unmasked], images[:, :, unmasked],
+                                   rtol=1e-5)
+        assert not np.allclose(out[:, :, ~unmasked], images[:, :, ~unmasked])
+
+    def test_apply_trigger_clips_to_unit_range(self, rng):
+        pattern = np.full((1, 8, 8), 2.0, dtype=np.float32)
+        mask = np.ones((1, 8, 8), dtype=np.float32)
+        out = apply_trigger(rng.random((2, 1, 8, 8)).astype(np.float32), pattern, mask)
+        assert out.max() <= 1.0
+
+    @given(patch=st.integers(min_value=1, max_value=8),
+           size=st.integers(min_value=8, max_value=24))
+    @settings(max_examples=25, deadline=None)
+    def test_random_patch_location_inside_image(self, patch, size):
+        top, left = random_patch_location(size, patch, np.random.default_rng(0))
+        assert 0 <= top <= size - patch
+        assert 0 <= left <= size - patch
+
+
+class TestPoisonIndices:
+    def test_rate_zero_gives_empty(self, rng):
+        labels = np.array([0, 1, 2, 3])
+        assert len(poison_indices(labels, 0, 0.0, rng)) == 0
+
+    def test_excludes_target_class(self, rng):
+        labels = np.array([0] * 50 + [1] * 50)
+        chosen = poison_indices(labels, 0, 0.5, rng)
+        assert np.all(labels[chosen] != 0)
+
+    def test_invalid_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            poison_indices(np.zeros(4), 0, 1.5, rng)
+
+    @given(rate=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_count_never_exceeds_candidates(self, rate):
+        labels = np.array([0] * 10 + [1] * 30)
+        chosen = poison_indices(labels, 0, rate, np.random.default_rng(0))
+        assert len(chosen) <= 30
+        assert len(np.unique(chosen)) == len(chosen)
+
+
+class TestBadNet:
+    def test_poison_dataset_relabels(self, dataset, rng):
+        attack = BadNetAttack(0, dataset.image_shape, patch_size=2, poison_rate=0.3,
+                              rng=rng)
+        poisoned, summary = attack.poison_dataset(dataset, rng)
+        assert summary.poisoned_count == int(round(0.3 * len(dataset)))
+        assert (poisoned.labels == 0).sum() >= (dataset.labels == 0).sum()
+        assert summary.poison_rate == pytest.approx(0.3, abs=0.05)
+
+    def test_trigger_is_deterministic_after_init(self, dataset, rng):
+        attack = BadNetAttack(1, dataset.image_shape, patch_size=2, rng=rng)
+        images = dataset.images[:4]
+        np.testing.assert_array_equal(attack.apply_trigger(images),
+                                      attack.apply_trigger(images))
+
+    def test_invalid_target_class(self, dataset):
+        with pytest.raises(ValueError):
+            BadNetAttack(-1, dataset.image_shape)
+
+
+class TestBlended:
+    def test_full_image_mask(self, dataset, rng):
+        attack = BlendedAttack(2, dataset.image_shape, alpha=0.2, rng=rng)
+        assert attack.trigger.mask.min() == pytest.approx(0.2)
+        triggered = attack.apply_trigger(dataset.images[:3])
+        assert triggered.shape == (3,) + dataset.image_shape
+        assert not np.allclose(triggered, dataset.images[:3])
+
+    def test_invalid_alpha(self, dataset):
+        with pytest.raises(ValueError):
+            BlendedAttack(0, dataset.image_shape, alpha=0.0)
+
+    def test_poison_dataset(self, dataset, rng):
+        attack = BlendedAttack(1, dataset.image_shape, poison_rate=0.2, rng=rng)
+        poisoned, summary = attack.poison_dataset(dataset, rng)
+        assert summary.poisoned_count > 0
+        assert len(poisoned) == len(dataset)
+
+
+class TestLatentBackdoor:
+    def test_prepare_optimizes_trigger(self, dataset, rng):
+        model = BasicCNN(in_channels=3, num_classes=4, image_size=16,
+                         conv_channels=(4, 8), hidden_dim=16, rng=rng)
+        attack = LatentBackdoorAttack(0, dataset.image_shape, patch_size=3,
+                                      warmup_epochs=1, trigger_steps=5,
+                                      sample_budget=16, rng=rng)
+        before = attack.trigger.pattern.copy()
+        attack.prepare(model, dataset, rng)
+        # The pattern inside the patch support must have moved.
+        assert not np.allclose(attack.trigger.pattern, before)
+        # Model parameters must be trainable again after prepare().
+        assert all(p.requires_grad for p in model.parameters())
+
+    def test_trigger_support_unchanged_by_prepare(self, dataset, rng):
+        model = BasicCNN(in_channels=3, num_classes=4, image_size=16,
+                         conv_channels=(4, 8), hidden_dim=16, rng=rng)
+        attack = LatentBackdoorAttack(1, dataset.image_shape, patch_size=2,
+                                      warmup_epochs=0, trigger_steps=3,
+                                      sample_budget=8, rng=rng)
+        mask_before = attack.trigger.mask.copy()
+        attack.prepare(model, dataset, rng)
+        np.testing.assert_array_equal(attack.trigger.mask, mask_before)
+
+    def test_poison_dataset_flow(self, dataset, rng):
+        attack = LatentBackdoorAttack(0, dataset.image_shape, patch_size=2,
+                                      poison_rate=0.2, warmup_epochs=0,
+                                      trigger_steps=0, rng=rng)
+        poisoned, summary = attack.poison_dataset(dataset, rng)
+        assert summary.poisoned_count > 0
+        assert len(poisoned) == len(dataset)
+
+
+class TestInputAwareDynamic:
+    def _model(self, rng):
+        return BasicCNN(in_channels=3, num_classes=4, image_size=16,
+                        conv_channels=(4, 8), hidden_dim=16, rng=rng)
+
+    def test_generator_output_shapes(self, rng):
+        generator = TriggerGenerator(channels=3, hidden=4, rng=rng)
+        pattern, mask = generator(Tensor(rng.random((2, 3, 16, 16)).astype(np.float32)))
+        assert pattern.shape == (2, 3, 16, 16)
+        assert mask.shape == (2, 1, 16, 16)
+        assert pattern.data.min() >= 0 and pattern.data.max() <= 1
+
+    def test_triggers_are_input_specific(self, dataset, rng):
+        attack = InputAwareDynamicAttack(0, dataset.image_shape, rng=rng)
+        a = attack.apply_trigger(dataset.images[:1])
+        b = attack.apply_trigger(dataset.images[1:2])
+        # Different inputs produce different triggered images beyond the raw
+        # input difference (generator output depends on the input).
+        assert not np.allclose(a - dataset.images[:1], b - dataset.images[1:2])
+
+    def test_poison_batch_relabels_backdoor_portion(self, dataset, rng):
+        attack = InputAwareDynamicAttack(3, dataset.image_shape, backdoor_rate=0.5,
+                                         cross_rate=0.25, rng=rng)
+        images, labels = attack.poison_batch(dataset.images[:8], dataset.labels[:8],
+                                             rng)
+        assert images.shape == dataset.images[:8].shape
+        assert (labels == 3).sum() >= (dataset.labels[:8] == 3).sum()
+
+    def test_attack_step_updates_generator_not_model(self, dataset, rng):
+        model = self._model(rng)
+        attack = InputAwareDynamicAttack(0, dataset.image_shape, rng=rng)
+        gen_before = [p.data.copy() for p in attack.generator.parameters()]
+        model_before = [p.data.copy() for p in model.parameters()]
+        loss = attack.attack_step(model, dataset.images[:8], dataset.labels[:8], rng)
+        assert loss is not None
+        assert any(not np.allclose(before, p.data)
+                   for before, p in zip(gen_before, attack.generator.parameters()))
+        assert all(np.allclose(before, p.data)
+                   for before, p in zip(model_before, model.parameters()))
+        # Model gradients must have been cleared and grad flags restored.
+        assert all(p.requires_grad for p in model.parameters())
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_dynamic_flag(self, dataset, rng):
+        assert InputAwareDynamicAttack(0, dataset.image_shape, rng=rng).dynamic
+        assert not BadNetAttack(0, dataset.image_shape, rng=rng).dynamic

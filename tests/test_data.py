@@ -1,0 +1,221 @@
+"""Tests for datasets, loaders, synthetic generation, catalog and transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DATASET_SPECS,
+    DataLoader,
+    Dataset,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    RandomNoise,
+    SyntheticImageConfig,
+    SyntheticImageGenerator,
+    load_cifar10,
+    load_dataset,
+    load_gtsrb,
+    load_mnist,
+    make_synthetic_dataset,
+    stratified_sample,
+    train_test_split,
+)
+
+
+def _tiny_dataset(n_per_class=5, num_classes=3, size=8, channels=1, seed=0):
+    return make_synthetic_dataset(num_classes, size, channels, n_per_class, seed=seed)
+
+
+class TestDataset:
+    def test_validation_shape(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 8, 8)), np.zeros(4), 2)
+
+    def test_validation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 1, 8, 8)), np.zeros(3), 2)
+
+    def test_validation_label_range(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 1, 8, 8)), np.array([0, 1, 2, 5]), 3)
+
+    def test_image_shape_and_len(self):
+        ds = _tiny_dataset()
+        assert len(ds) == 15
+        assert ds.image_shape == (1, 8, 8)
+
+    def test_class_indices(self):
+        ds = _tiny_dataset()
+        for cls in range(3):
+            idx = ds.class_indices(cls)
+            assert np.all(ds.labels[idx] == cls)
+
+    def test_subset_copies(self):
+        ds = _tiny_dataset()
+        sub = ds.subset([0, 1, 2])
+        sub.images[:] = 0.0
+        assert not np.all(ds.images[:3] == 0.0)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = _tiny_dataset()
+        loader = DataLoader(ds, batch_size=4)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == len(ds)
+
+    def test_drop_last(self):
+        ds = _tiny_dataset()
+        loader = DataLoader(ds, batch_size=4, drop_last=True)
+        assert all(len(lbl) == 4 for _, lbl in loader)
+        assert len(loader) == len(ds) // 4
+
+    def test_shuffle_changes_order(self):
+        ds = _tiny_dataset(n_per_class=20)
+        loader = DataLoader(ds, batch_size=len(ds), shuffle=True,
+                            rng=np.random.default_rng(0))
+        _, labels_a = next(iter(loader))
+        _, labels_b = next(iter(loader))
+        assert not np.array_equal(labels_a, labels_b)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(_tiny_dataset(), batch_size=0)
+
+
+class TestSplitsAndSampling:
+    def test_train_test_split_stratified(self):
+        ds = _tiny_dataset(n_per_class=10)
+        train, test = train_test_split(ds, test_fraction=0.2,
+                                       rng=np.random.default_rng(0))
+        assert len(train) + len(test) == len(ds)
+        for cls in range(ds.num_classes):
+            assert len(test.class_indices(cls)) >= 1
+
+    def test_train_test_split_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(_tiny_dataset(), test_fraction=1.5)
+
+    def test_stratified_sample_balanced(self):
+        ds = _tiny_dataset(n_per_class=20, num_classes=4)
+        sample = stratified_sample(ds, 12, rng=np.random.default_rng(0))
+        assert len(sample) == 12
+        counts = np.bincount(sample.labels, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    @given(total=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_stratified_sample_never_exceeds_request(self, total):
+        ds = _tiny_dataset(n_per_class=10, num_classes=4)
+        sample = stratified_sample(ds, total, rng=np.random.default_rng(0))
+        assert len(sample) <= total
+
+
+class TestSyntheticGenerator:
+    def test_prototypes_shape_and_range(self):
+        cfg = SyntheticImageConfig(num_classes=5, image_size=16, channels=3)
+        gen = SyntheticImageGenerator(cfg, seed=1)
+        assert gen.prototypes.shape == (5, 3, 16, 16)
+        assert gen.prototypes.min() >= 0.0 and gen.prototypes.max() <= 1.0
+
+    def test_same_seed_same_prototypes(self):
+        cfg = SyntheticImageConfig(num_classes=4, image_size=12, channels=1)
+        a = SyntheticImageGenerator(cfg, seed=3).prototypes
+        b = SyntheticImageGenerator(cfg, seed=3).prototypes
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_different_prototypes(self):
+        cfg = SyntheticImageConfig(num_classes=4, image_size=12, channels=1)
+        a = SyntheticImageGenerator(cfg, seed=3).prototypes
+        b = SyntheticImageGenerator(cfg, seed=4).prototypes
+        assert not np.allclose(a, b)
+
+    def test_classes_are_separable_by_nearest_prototype(self):
+        # Nearest-class-mean on held-out samples must beat chance by a wide
+        # margin, otherwise backdoor experiments are meaningless.
+        train = make_synthetic_dataset(5, 16, 3, 30, seed=7, sample_seed=100)
+        test = make_synthetic_dataset(5, 16, 3, 10, seed=7, sample_seed=200)
+        prototypes = np.stack([train.images[train.labels == c].mean(axis=0)
+                               for c in range(5)])
+        distances = ((test.images[:, None] - prototypes[None]) ** 2).sum(axis=(2, 3, 4))
+        accuracy = (distances.argmin(axis=1) == test.labels).mean()
+        assert accuracy > 0.8
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(image_size=4)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(channels=2)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_samples_always_in_unit_range(self, seed):
+        ds = make_synthetic_dataset(3, 10, 1, 4, seed=seed)
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+
+class TestCatalog:
+    def test_specs_match_paper_class_counts(self):
+        assert DATASET_SPECS["mnist"].num_classes == 10
+        assert DATASET_SPECS["cifar10"].num_classes == 10
+        assert DATASET_SPECS["gtsrb"].num_classes == 43
+        assert DATASET_SPECS["imagenet10"].num_classes == 10
+
+    def test_mnist_is_greyscale(self):
+        train, test = load_mnist(samples_per_class=3, test_per_class=2, seed=0)
+        assert train.image_shape[0] == 1
+        assert test.image_shape == train.image_shape
+
+    def test_cifar_train_test_share_classes(self):
+        train, test = load_cifar10(samples_per_class=20, test_per_class=8, seed=5)
+        prototypes = np.stack([train.images[train.labels == c].mean(axis=0)
+                               for c in range(10)])
+        distances = ((test.images[:, None] - prototypes[None]) ** 2).sum(axis=(2, 3, 4))
+        assert (distances.argmin(axis=1) == test.labels).mean() > 0.6
+
+    def test_gtsrb_has_43_classes(self):
+        train, _ = load_gtsrb(samples_per_class=2, test_per_class=1, seed=0)
+        assert train.num_classes == 43
+
+    def test_image_size_override(self):
+        train, _ = load_cifar10(samples_per_class=2, test_per_class=1, seed=0,
+                                image_size=16)
+        assert train.image_shape == (3, 16, 16)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("svhn")
+
+
+class TestTransforms:
+    def test_normalize_and_inverse(self):
+        norm = Normalize(mean=[0.5], std=[0.25])
+        x = np.random.default_rng(0).random((4, 1, 8, 8)).astype(np.float32)
+        back = norm.inverse(norm(x))
+        np.testing.assert_allclose(back, x, rtol=1e-5)
+
+    def test_normalize_zero_std_raises(self):
+        with pytest.raises(ValueError):
+            Normalize(mean=[0.0], std=[0.0])
+
+    def test_flip_preserves_shape_and_content_set(self):
+        flip = RandomHorizontalFlip(p=1.0, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).random((2, 3, 6, 6)).astype(np.float32)
+        out = flip(x)
+        np.testing.assert_allclose(out, x[:, :, :, ::-1])
+
+    def test_crop_preserves_shape(self):
+        crop = RandomCrop(padding=2, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).random((3, 1, 10, 10)).astype(np.float32)
+        assert crop(x).shape == x.shape
+
+    def test_noise_stays_in_unit_range(self):
+        noise = RandomNoise(std=0.5, rng=np.random.default_rng(0))
+        x = np.ones((2, 1, 5, 5), dtype=np.float32)
+        out = noise(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0

@@ -1,0 +1,148 @@
+"""Integration tests: NC / TABOR / USB on a tiny backdoored model.
+
+These tests exercise the full detection stack end to end (training with a
+poisoned dataset, per-class reverse engineering, MAD decision) at a scale that
+keeps the whole module under a couple of minutes on CPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BadNetAttack
+from repro.core import (
+    TargetedUAPConfig,
+    TriggerOptimizationConfig,
+    USBConfig,
+    USBDetector,
+)
+from repro.data import make_synthetic_dataset, stratified_sample
+from repro.defenses import (
+    DETECTOR_BUILDERS,
+    NeuralCleanseConfig,
+    NeuralCleanseDetector,
+    TaborConfig,
+    TaborDetector,
+    build_detector,
+)
+from repro.eval import Trainer, TrainingConfig
+from repro.models import BasicCNN
+
+
+@pytest.fixture(scope="module")
+def backdoored_setup():
+    """A small backdoored CNN with a strongly embedded 3x3 BadNet trigger.
+
+    The fleet-scale statistics of the paper need high attack success rates, so
+    this fixture trains a little longer and poisons a little more aggressively
+    than the bench presets — the module is still well under a minute on CPU.
+    """
+    train = make_synthetic_dataset(5, 16, 3, 50, seed=11, name="def-train",
+                                   sample_seed=1)
+    test = make_synthetic_dataset(5, 16, 3, 12, seed=11, name="def-test",
+                                  sample_seed=2)
+    model = BasicCNN(in_channels=3, num_classes=5, image_size=16,
+                     conv_channels=(6, 12), hidden_dim=32,
+                     rng=np.random.default_rng(3))
+    attack = BadNetAttack(0, train.image_shape, patch_size=3, poison_rate=0.2,
+                          rng=np.random.default_rng(4))
+    trainer = Trainer(TrainingConfig(epochs=12, batch_size=16),
+                      rng=np.random.default_rng(5))
+    trained = trainer.train_backdoored(model, train, test, attack)
+    clean = stratified_sample(test, 40, np.random.default_rng(6))
+    return trained, attack, clean
+
+
+def _opt(iterations=25, **kwargs):
+    return TriggerOptimizationConfig(iterations=iterations, **kwargs)
+
+
+class TestNeuralCleanse:
+    def test_reverse_engineer_returns_valid_trigger(self, backdoored_setup):
+        trained, attack, clean = backdoored_setup
+        detector = NeuralCleanseDetector(
+            clean, NeuralCleanseConfig(optimization=_opt(ssim_weight=0.0)),
+            rng=np.random.default_rng(0))
+        trigger = detector.reverse_engineer(trained.model, attack.target_class)
+        assert trigger.pattern.shape == clean.image_shape
+        assert trigger.mask.shape == (1,) + clean.image_shape[1:]
+        assert 0.0 <= trigger.success_rate <= 1.0
+
+    def test_target_class_trigger_is_smallest(self, backdoored_setup):
+        trained, attack, clean = backdoored_setup
+        detector = NeuralCleanseDetector(
+            clean, NeuralCleanseConfig(optimization=_opt(40, ssim_weight=0.0)),
+            rng=np.random.default_rng(1))
+        result = detector.detect(trained.model)
+        norms = result.per_class_l1
+        assert min(norms, key=norms.get) == attack.target_class
+
+
+class TestTabor:
+    def test_detect_structure(self, backdoored_setup):
+        trained, attack, clean = backdoored_setup
+        detector = TaborDetector(
+            clean, TaborConfig(optimization=_opt(ssim_weight=0.0, mask_tv_weight=0.002,
+                                                 outside_pattern_weight=0.002)),
+            rng=np.random.default_rng(2))
+        result = detector.detect(trained.model, classes=[0, 1, 2])
+        assert result.detector == "TABOR"
+        assert len(result.triggers) == 3
+
+    def test_tv_regularizer_smooths_mask(self, backdoored_setup):
+        trained, attack, clean = backdoored_setup
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        smooth = TaborDetector(clean, TaborConfig(
+            optimization=_opt(30, ssim_weight=0.0, mask_tv_weight=0.05)),
+            rng=rng_a).reverse_engineer(trained.model, 1)
+        rough = TaborDetector(clean, TaborConfig(
+            optimization=_opt(30, ssim_weight=0.0, mask_tv_weight=0.0)),
+            rng=rng_b).reverse_engineer(trained.model, 1)
+
+        def tv(mask):
+            return np.abs(np.diff(mask, axis=1)).sum() + np.abs(np.diff(mask, axis=2)).sum()
+
+        assert tv(smooth.mask) <= tv(rough.mask) * 1.5
+
+
+class TestUSBVersusBaselines:
+    def test_usb_flags_backdoored_model(self, backdoored_setup):
+        trained, attack, clean = backdoored_setup
+        # With only five candidate classes and a lightly-trained backdoor the
+        # MAD statistic is much coarser than in the paper's 10/43-class tables,
+        # so the integration test lowers the anomaly threshold; the full-scale
+        # behaviour is exercised by the table benchmarks.
+        usb = USBDetector(clean, USBConfig(
+            uap=TargetedUAPConfig(max_passes=2),
+            optimization=_opt(40), anomaly_threshold=1.0),
+            rng=np.random.default_rng(8))
+        result = usb.detect(trained.model)
+        assert result.is_backdoored
+        assert attack.target_class in result.flagged_classes
+
+    def test_usb_target_class_l1_below_other_classes(self, backdoored_setup):
+        trained, attack, clean = backdoored_setup
+        usb = USBDetector(clean, USBConfig(
+            uap=TargetedUAPConfig(max_passes=1),
+            optimization=_opt(30)), rng=np.random.default_rng(9))
+        result = usb.detect(trained.model)
+        norms = result.per_class_l1
+        target_l1 = norms[attack.target_class]
+        others = [v for c, v in norms.items() if c != attack.target_class]
+        assert target_l1 < np.mean(others)
+
+
+class TestDetectorRegistry:
+    def test_registry_contents(self):
+        assert set(DETECTOR_BUILDERS) == {"usb", "nc", "tabor"}
+
+    def test_build_detector_by_name(self, backdoored_setup):
+        _, _, clean = backdoored_setup
+        assert isinstance(build_detector("usb", clean), USBDetector)
+        assert isinstance(build_detector("NC", clean), NeuralCleanseDetector)
+        assert isinstance(build_detector("tabor", clean), TaborDetector)
+
+    def test_build_detector_unknown(self, backdoored_setup):
+        _, _, clean = backdoored_setup
+        with pytest.raises(KeyError):
+            build_detector("abs", clean)

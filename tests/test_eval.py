@@ -1,0 +1,256 @@
+"""Tests for the evaluation harness: trainer, protocol, experiments, timing, reporting."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import BadNetAttack
+from repro.core.detection import DetectionResult, ReversedTrigger
+from repro.data import make_synthetic_dataset
+from repro.eval import (
+    SCALES,
+    TABLE_CONFIGS,
+    AttackSpec,
+    CaseSpec,
+    Trainer,
+    TrainingConfig,
+    build_attack,
+    classify_target_detection,
+    evaluate_accuracy,
+    evaluate_asr,
+    format_rows,
+    format_table,
+    measure_detection_times,
+    summarize_case,
+    table1_config,
+    table3_config,
+)
+from repro.eval.protocol import (
+    OUTCOME_CORRECT,
+    OUTCOME_CORRECT_SET,
+    OUTCOME_WRONG,
+    ModelDetectionRecord,
+)
+from repro.models import BasicCNN
+
+
+def _tiny_model(rng=None, num_classes=4):
+    return BasicCNN(in_channels=3, num_classes=num_classes, image_size=16,
+                    conv_channels=(4, 8), hidden_dim=16,
+                    rng=rng or np.random.default_rng(0))
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_dataset(4, 16, 3, 15, seed=0, name="eval-test")
+
+
+class TestTrainer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+
+    def test_clean_training_improves_accuracy(self, dataset):
+        model = _tiny_model()
+        test = make_synthetic_dataset(4, 16, 3, 5, seed=0, sample_seed=99)
+        before = evaluate_accuracy(model, test)
+        trainer = Trainer(TrainingConfig(epochs=3, batch_size=16, noise_std=0.0),
+                          rng=np.random.default_rng(0))
+        trained = trainer.train_clean(model, dataset, test)
+        assert trained.clean_accuracy >= before
+        assert not trained.is_backdoored
+        assert len(trained.history) == 3
+
+    def test_backdoored_training_records_asr(self, dataset):
+        model = _tiny_model(np.random.default_rng(5))
+        test = make_synthetic_dataset(4, 16, 3, 5, seed=0, sample_seed=77)
+        attack = BadNetAttack(0, dataset.image_shape, patch_size=3, poison_rate=0.3,
+                              rng=np.random.default_rng(1))
+        trainer = Trainer(TrainingConfig(epochs=3, batch_size=16),
+                          rng=np.random.default_rng(2))
+        trained = trainer.train_backdoored(model, dataset, test, attack)
+        assert trained.is_backdoored
+        assert trained.attack_success_rate is not None
+        assert 0.0 <= trained.attack_success_rate <= 1.0
+
+    def test_evaluate_accuracy_empty_dataset(self, dataset):
+        assert evaluate_accuracy(_tiny_model(), dataset.subset([])) == 0.0
+
+    def test_evaluate_asr_excludes_target_class(self, dataset):
+        model = _tiny_model()
+        attack = BadNetAttack(2, dataset.image_shape, rng=np.random.default_rng(0))
+        asr = evaluate_asr(model, dataset, attack)
+        assert 0.0 <= asr <= 1.0
+
+
+class TestProtocol:
+    def test_classify_correct(self):
+        assert classify_target_detection([3], 3) == OUTCOME_CORRECT
+
+    def test_classify_correct_set(self):
+        assert classify_target_detection([1, 3], 3) == OUTCOME_CORRECT_SET
+
+    def test_classify_wrong(self):
+        assert classify_target_detection([1, 2], 3) == OUTCOME_WRONG
+
+    def test_classify_requires_flags(self):
+        with pytest.raises(ValueError):
+            classify_target_detection([], 0)
+        with pytest.raises(ValueError):
+            classify_target_detection([0], None)
+
+    def _detection(self, flagged, norms):
+        triggers = [ReversedTrigger(target_class=cls,
+                                    pattern=np.full((1, 2, 2), norm, np.float32),
+                                    mask=np.ones((1, 2, 2), np.float32),
+                                    success_rate=1.0)
+                    for cls, norm in norms.items()]
+        return DetectionResult(detector="t", triggers=triggers,
+                               anomaly_indices={c: 3.0 for c in flagged},
+                               flagged_classes=flagged, is_backdoored=bool(flagged))
+
+    def test_record_outcomes(self):
+        detection = self._detection([0], {0: 0.1, 1: 1.0, 2: 1.0})
+        record = ModelDetectionRecord(0, True, 0, detection)
+        assert record.predicted_backdoored
+        assert record.model_detection_correct
+        assert record.target_class_outcome == OUTCOME_CORRECT
+
+    def test_clean_truth_has_no_target_outcome(self):
+        detection = self._detection([], {0: 1.0, 1: 1.1})
+        record = ModelDetectionRecord(0, False, None, detection)
+        assert record.model_detection_correct
+        assert record.target_class_outcome is None
+
+    def test_summary_counts(self):
+        records = [
+            ModelDetectionRecord(0, True, 0, self._detection([0], {0: 0.1, 1: 1.0})),
+            ModelDetectionRecord(1, True, 0, self._detection([1], {0: 1.0, 1: 0.1})),
+            ModelDetectionRecord(2, True, 0, self._detection([], {0: 1.0, 1: 1.0})),
+        ]
+        summary = summarize_case("badnet", "USB", records)
+        assert summary.num_models == 3
+        assert summary.predicted_backdoored == 2
+        assert summary.predicted_clean == 1
+        assert summary.correct == 1
+        assert summary.wrong == 1
+        assert summary.model_detection_accuracy == pytest.approx(2 / 3)
+        row = summary.as_row()
+        assert row["case"] == "badnet" and row["method"] == "USB"
+
+    @given(st.lists(st.sampled_from([OUTCOME_CORRECT, OUTCOME_CORRECT_SET,
+                                     OUTCOME_WRONG, None]), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_summary_outcome_counts_partition(self, outcomes):
+        records = []
+        for idx, outcome in enumerate(outcomes):
+            if outcome is None:
+                detection = self._detection([], {0: 1.0, 1: 1.0})
+            elif outcome == OUTCOME_CORRECT:
+                detection = self._detection([0], {0: 0.1, 1: 1.0})
+            elif outcome == OUTCOME_CORRECT_SET:
+                detection = self._detection([0, 1], {0: 0.1, 1: 0.2})
+            else:
+                detection = self._detection([1], {0: 1.0, 1: 0.1})
+            records.append(ModelDetectionRecord(idx, True, 0, detection))
+        summary = summarize_case("case", "det", records)
+        assert (summary.correct + summary.correct_set + summary.wrong
+                == summary.predicted_backdoored)
+
+
+class TestExperimentConfigs:
+    def test_all_tables_registered(self):
+        assert set(TABLE_CONFIGS) == {"table1", "table2", "table3", "table4",
+                                      "table5", "table6"}
+
+    def test_scale_presets_exist(self):
+        assert {"bench", "tiny", "small", "paper"} <= set(SCALES)
+        assert SCALES["paper"].models_per_case == 50
+
+    def test_table1_structure(self):
+        config = table1_config("tiny")
+        assert config.dataset == "cifar10" and config.model == "resnet18"
+        assert [case.name for case in config.cases] == ["clean", "badnet_2x2",
+                                                        "badnet_3x3"]
+
+    def test_table3_has_iad_case(self):
+        config = table3_config("tiny")
+        kinds = [case.attack.kind for case in config.cases if case.attack]
+        assert "iad" in kinds and "latent" in kinds
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(KeyError):
+            table1_config("huge")
+
+    def test_with_scale_override(self):
+        config = table1_config("tiny").with_scale(SCALES["bench"])
+        assert config.scale.models_per_case == SCALES["bench"].models_per_case
+
+    def test_attack_spec_patch_resolution(self):
+        assert AttackSpec("badnet", patch_size=3).resolve_patch(32) == 3
+        assert AttackSpec("badnet", patch_fraction=0.25).resolve_patch(32) == 8
+        assert AttackSpec("badnet").resolve_patch(32) == 3
+
+    def test_build_attack_all_kinds(self):
+        shape = (3, 16, 16)
+        rng = np.random.default_rng(0)
+        for kind in ("badnet", "latent", "iad", "blended"):
+            attack = build_attack(AttackSpec(kind, patch_size=2), shape, rng)
+            assert attack.target_class == 0
+        with pytest.raises(KeyError):
+            build_attack(AttackSpec("wanet"), shape, rng)
+
+    def test_case_spec_clean_flag(self):
+        assert CaseSpec("clean").is_clean
+        assert not CaseSpec("bd", AttackSpec("badnet")).is_clean
+
+
+class TestTiming:
+    def test_measure_detection_times_structure(self, dataset):
+        from repro.core import TriggerOptimizationConfig, USBConfig, USBDetector
+        from repro.core import TargetedUAPConfig
+
+        model = _tiny_model()
+        model.eval()
+        detectors = {
+            "USB": USBDetector(dataset, USBConfig(
+                uap=TargetedUAPConfig(max_passes=1),
+                optimization=TriggerOptimizationConfig(iterations=3)),
+                rng=np.random.default_rng(0)),
+        }
+        report = measure_detection_times(model, detectors, classes=[0, 1],
+                                         case_name="unit")
+        rows = report.rows()
+        assert len(rows) == 1
+        assert rows[0]["case"] == "unit"
+        assert report.timings[0].total_seconds > 0
+        assert set(report.timings[0].per_class_seconds) == {0, 1}
+
+    def test_speedup_requires_both_detectors(self, dataset):
+        from repro.eval.timing import ClassTiming, TimingReport
+        report = TimingReport("x", [ClassTiming("USB", {0: 1.0}),
+                                    ClassTiming("NC", {0: 4.0})])
+        assert report.speedup_over("NC") == pytest.approx(4.0)
+        with pytest.raises(KeyError):
+            report.speedup_over("TABOR")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"case": "clean", "method": "USB", "l1_norm": 12.345},
+                {"case": "badnet", "method": "NC", "l1_norm": None}]
+        text = format_table(rows, columns=("case", "method", "l1_norm"))
+        lines = text.splitlines()
+        assert lines[0].startswith("case")
+        assert "N/A" in lines[-1] or "N/A" in lines[-2]
+
+    def test_format_rows_empty(self):
+        assert format_rows([], title="empty") == "empty"
+
+    def test_format_rows_uses_first_row_keys(self):
+        text = format_rows([{"a": 1, "b": 2}], title="t")
+        assert "a" in text and "b" in text and text.startswith("t")

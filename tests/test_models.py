@@ -1,0 +1,150 @@
+"""Tests for the model zoo: output shapes, feature hooks, registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MODEL_BUILDERS,
+    BasicCNN,
+    EfficientNet,
+    ResNet,
+    VGG,
+    build_model,
+    efficientnet_b0,
+    register_model,
+    resnet18,
+    vgg11,
+    vgg16,
+)
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _batch(rng, channels=3, size=32, n=2):
+    return Tensor(rng.random((n, channels, size, size)).astype(np.float32))
+
+
+class TestBasicCNN:
+    def test_forward_shape_mnist(self, rng):
+        model = BasicCNN(in_channels=1, num_classes=10, image_size=28, rng=rng)
+        out = model(_batch(rng, channels=1, size=28))
+        assert out.shape == (2, 10)
+
+    def test_forward_shape_cifar(self, rng):
+        model = BasicCNN(in_channels=3, num_classes=10, image_size=32, rng=rng)
+        assert model(_batch(rng, size=32)).shape == (2, 10)
+
+    def test_features_dimension(self, rng):
+        model = BasicCNN(in_channels=1, num_classes=10, image_size=28,
+                         hidden_dim=64, rng=rng)
+        feats = model.features(_batch(rng, channels=1, size=28))
+        assert feats.shape == (2, 64)
+
+    def test_paper_default_configuration(self, rng):
+        # Appendix A.7: conv(1,16,5), conv(16,32,5), fc(512,512), fc(512,10).
+        model = BasicCNN(rng=rng)
+        assert model.conv1.weight.shape == (16, 1, 5, 5)
+        assert model.conv2.weight.shape == (32, 16, 5, 5)
+        assert model.fc2.weight.shape == (10, 512)
+
+
+class TestResNet:
+    def test_resnet18_has_four_stages_of_two_blocks(self, rng):
+        model = resnet18(base_width=8, rng=rng)
+        assert isinstance(model, ResNet)
+        for stage in (model.stage1, model.stage2, model.stage3, model.stage4):
+            assert len(list(stage)) == 2
+
+    def test_forward_shape(self, rng):
+        model = resnet18(num_classes=7, base_width=8, rng=rng)
+        assert model(_batch(rng, size=32)).shape == (2, 7)
+
+    def test_downsampling_halves_spatial_dims(self, rng):
+        model = resnet18(base_width=8, rng=rng)
+        feats = model.features(_batch(rng, size=32))
+        assert feats.shape == (2, 8 * 8)
+
+    def test_grayscale_input(self, rng):
+        model = resnet18(in_channels=1, base_width=8, rng=rng)
+        assert model(_batch(rng, channels=1, size=28)).shape == (2, 10)
+
+
+class TestVGG:
+    def test_vgg16_depth(self, rng):
+        model = vgg16(base_width=8, rng=rng)
+        conv_count = sum(1 for layer in model.feature_extractor
+                         if layer.__class__.__name__ == "Conv2d")
+        assert conv_count == 13
+
+    def test_vgg11_forward(self, rng):
+        model = vgg11(num_classes=5, base_width=8, image_size=32, rng=rng)
+        assert model(_batch(rng, size=32)).shape == (2, 5)
+
+    def test_vgg_small_images_do_not_collapse(self, rng):
+        model = vgg16(base_width=8, image_size=16, rng=rng)
+        assert model(_batch(rng, size=16)).shape == (2, 10)
+
+    def test_features_shape(self, rng):
+        model = vgg16(base_width=8, rng=rng)
+        feats = model.features(_batch(rng, size=32))
+        assert feats.shape[0] == 2 and feats.ndim == 2
+
+
+class TestEfficientNet:
+    def test_forward_shape(self, rng):
+        model = efficientnet_b0(num_classes=4, width_mult=0.25, rng=rng)
+        assert model(_batch(rng, size=32)).shape == (2, 4)
+
+    def test_has_seven_stage_types(self, rng):
+        model = efficientnet_b0(width_mult=0.25, depth_mult=0.5, rng=rng)
+        assert isinstance(model, EfficientNet)
+        assert len(list(model.blocks)) >= 7
+
+    def test_width_mult_scales_parameters(self, rng):
+        small = efficientnet_b0(width_mult=0.2, rng=np.random.default_rng(0))
+        large = efficientnet_b0(width_mult=0.5, rng=np.random.default_rng(0))
+        assert large.num_parameters() > small.num_parameters()
+
+    def test_features_shape(self, rng):
+        model = efficientnet_b0(width_mult=0.25, rng=rng)
+        feats = model.features(_batch(rng, size=32))
+        assert feats.ndim == 2 and feats.shape[0] == 2
+
+
+class TestRegistry:
+    def test_all_expected_models_registered(self):
+        assert {"basic_cnn", "resnet18", "vgg16", "vgg11", "efficientnet_b0"} <= set(
+            MODEL_BUILDERS)
+
+    def test_build_model_passes_kwargs(self, rng):
+        model = build_model("resnet18", num_classes=3, in_channels=1, base_width=8,
+                            rng=rng)
+        assert model(_batch(rng, channels=1, size=28)).shape == (2, 3)
+
+    def test_build_model_unknown_raises(self):
+        with pytest.raises(KeyError):
+            build_model("alexnet", num_classes=10, in_channels=3)
+
+    def test_register_custom_model(self, rng):
+        register_model("tiny_cnn", lambda **kw: BasicCNN(
+            in_channels=kw["in_channels"], num_classes=kw["num_classes"],
+            image_size=16, conv_channels=(4, 8), hidden_dim=16, rng=kw.get("rng")))
+        model = build_model("tiny_cnn", num_classes=2, in_channels=1)
+        assert model(_batch(rng, channels=1, size=16)).shape == (2, 2)
+        MODEL_BUILDERS.pop("tiny_cnn")
+
+    def test_gradients_flow_through_every_model(self, rng):
+        for name in ("basic_cnn", "resnet18", "vgg11", "efficientnet_b0"):
+            kwargs = {"base_width": 8} if name in ("resnet18", "vgg11") else {}
+            if name == "efficientnet_b0":
+                kwargs = {"width_mult": 0.2}
+            model = build_model(name, num_classes=3, in_channels=3, image_size=16,
+                                rng=rng, **kwargs)
+            out = model(_batch(rng, size=16)).sum()
+            out.backward()
+            grads = [p.grad for p in model.parameters() if p.grad is not None]
+            assert grads, f"{name} produced no gradients"

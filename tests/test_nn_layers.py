@@ -1,0 +1,241 @@
+"""Unit tests for Module mechanics, layers, optimizers, losses, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestModuleMechanics:
+    def test_parameter_registration(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        names = [name for name, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_module_parameters(self, rng):
+        model = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3, rng=rng), nn.BatchNorm2d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_state_dict_roundtrip(self, rng):
+        a = nn.Sequential(nn.Linear(5, 5, rng=rng), nn.BatchNorm1d(5))
+        b = nn.Sequential(nn.Linear(5, 5, rng=np.random.default_rng(1)), nn.BatchNorm1d(5))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        a = nn.Linear(5, 5, rng=rng)
+        b = nn.Linear(5, 6, rng=rng)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_state_dict_unknown_key_raises(self, rng):
+        a = nn.Linear(5, 5, rng=rng)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            nn.Linear(5, 5, rng=rng).load_state_dict(state)
+
+    def test_requires_grad_toggle(self, rng):
+        layer = nn.Linear(3, 3, rng=rng)
+        layer.requires_grad_(False)
+        assert all(not p.requires_grad for p in layer.parameters())
+        layer.requires_grad_(True)
+        assert all(p.requires_grad for p in layer.parameters())
+
+    def test_zero_grad_clears(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        out = layer(Tensor(rng.standard_normal((4, 3)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shape(self, rng):
+        layer = nn.Linear(6, 4, rng=rng)
+        out = layer(Tensor(rng.standard_normal((3, 6))))
+        assert out.shape == (3, 4)
+
+    def test_conv2d_shape_padding_stride(self, rng):
+        conv = nn.Conv2d(3, 8, kernel_size=3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 16, 16))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_conv2d_group_validation(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(3, 8, kernel_size=3, groups=2)
+
+    def test_batchnorm2d_normalizes(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)) * 3 + 2)
+        out = bn(x)
+        assert abs(out.data.mean()) < 0.1
+        assert abs(out.data.std() - 1.0) < 0.2
+
+    def test_batchnorm_running_stats_used_in_eval(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((16, 2, 4, 4)) + 5.0)
+        for _ in range(10):
+            bn(x)
+        bn.eval()
+        out = bn(Tensor(np.full((1, 2, 4, 4), 5.0, dtype=np.float32)))
+        assert np.all(np.abs(out.data) < 5.0)
+
+    def test_maxpool_avgpool_shapes(self, rng):
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)))
+        assert nn.MaxPool2d(2)(x).shape == (2, 3, 4, 4)
+        assert nn.AvgPool2d(4)(x).shape == (2, 3, 2, 2)
+
+    def test_adaptive_avg_pool_and_flatten(self, rng):
+        x = Tensor(rng.standard_normal((2, 5, 7, 7)))
+        pooled = nn.AdaptiveAvgPool2d(1)(x)
+        assert pooled.shape == (2, 5, 1, 1)
+        assert nn.Flatten()(pooled).shape == (2, 5)
+
+    def test_dropout_train_vs_eval(self, rng):
+        drop = nn.Dropout(p=0.5, rng=rng)
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out_train = drop(x)
+        assert (out_train.data == 0).mean() == pytest.approx(0.5, abs=0.1)
+        drop.eval()
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_activation_layers(self, rng):
+        x = Tensor(rng.standard_normal((4, 4)))
+        assert np.all(nn.ReLU()(x).data >= 0)
+        assert np.all((nn.Sigmoid()(x).data > 0) & (nn.Sigmoid()(x).data < 1))
+        assert np.all(np.abs(nn.Tanh()(x).data) <= 1)
+        silu = nn.SiLU()(x).data
+        np.testing.assert_allclose(silu, x.data / (1 + np.exp(-x.data)), rtol=1e-4)
+        leaky = nn.LeakyReLU(0.1)(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(leaky.data, [-0.1, 2.0], rtol=1e-5)
+
+    def test_identity(self, rng):
+        x = Tensor(rng.standard_normal((3, 3)))
+        np.testing.assert_array_equal(nn.Identity()(x).data, x.data)
+
+    def test_sequential_iteration_and_indexing(self, rng):
+        seq = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.ReLU())
+        assert len(list(seq)) == 2
+        assert isinstance(seq[1], nn.ReLU)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # Minimize ||Wx - y||^2 for a fixed x, y.
+        rng = np.random.default_rng(0)
+        w = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+        x = Tensor(rng.standard_normal((8, 3)))
+        y = Tensor(rng.standard_normal((8, 3)))
+        return w, x, y
+
+    def _loss(self, w, x, y):
+        pred = x @ w
+        return ((pred - y) ** 2).mean()
+
+    def test_sgd_decreases_loss(self):
+        w, x, y = self._quadratic_problem()
+        opt = nn.SGD([w], lr=0.1, momentum=0.9)
+        first = self._loss(w, x, y).item()
+        for _ in range(50):
+            loss = self._loss(w, x, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert self._loss(w, x, y).item() < first * 0.5
+
+    def test_adam_decreases_loss(self):
+        w, x, y = self._quadratic_problem()
+        opt = nn.Adam([w], lr=0.05)
+        first = self._loss(w, x, y).item()
+        for _ in range(50):
+            loss = self._loss(w, x, y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert self._loss(w, x, y).item() < first * 0.5
+
+    def test_weight_decay_shrinks_weights(self):
+        w = Tensor(np.ones((4, 4), dtype=np.float32) * 10, requires_grad=True)
+        opt = nn.SGD([w], lr=0.1, weight_decay=0.5)
+        (w * 0.0).sum().backward()
+        opt.step()
+        assert np.all(np.abs(w.data) < 10)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        w = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.SGD([w], lr=0.0)
+        with pytest.raises(ValueError):
+            nn.Adam([w], lr=-1.0)
+
+
+class TestLossModules:
+    def test_cross_entropy_module(self, rng):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = Tensor(rng.standard_normal((6, 4)), requires_grad=True)
+        loss = loss_fn(logits, np.array([0, 1, 2, 3, 0, 1]))
+        assert loss.item() > 0
+        loss.backward()
+        assert logits.grad is not None
+
+    def test_cross_entropy_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            nn.CrossEntropyLoss(label_smoothing=1.5)
+
+    def test_mse_module_accepts_numpy_target(self, rng):
+        pred = Tensor(rng.standard_normal((5, 2)), requires_grad=True)
+        loss = nn.MSELoss()(pred, np.zeros((5, 2), dtype=np.float32))
+        assert loss.item() == pytest.approx(float((pred.data ** 2).mean()), rel=1e-4)
+
+    def test_nll_module(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)))
+        log_probs = F.log_softmax(logits)
+        loss = nn.NLLLoss()(log_probs, np.array([0, 1, 2, 0]))
+        assert loss.item() > 0
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path, rng):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3, rng=rng), nn.BatchNorm2d(2),
+                              nn.Flatten(), nn.Linear(2 * 6 * 6, 3, rng=rng))
+        x = Tensor(rng.standard_normal((2, 1, 8, 8)))
+        before = model(x).data.copy()
+        path = str(tmp_path / "model.npz")
+        nn.save_model(model, path)
+
+        clone = nn.Sequential(nn.Conv2d(1, 2, 3, rng=np.random.default_rng(9)),
+                              nn.BatchNorm2d(2), nn.Flatten(),
+                              nn.Linear(2 * 6 * 6, 3, rng=np.random.default_rng(9)))
+        nn.load_model(clone, path)
+        np.testing.assert_allclose(clone(x).data, before, rtol=1e-5)
+
+    def test_state_dict_includes_buffers(self, rng):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "buffer::running_mean" in state
+        assert "buffer::running_var" in state

@@ -1,0 +1,154 @@
+"""Tests for SSIM, image helpers, RNG management, and logging utilities."""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.utils import (
+    clip01,
+    derive_rng,
+    get_logger,
+    l1_norm,
+    l2_norm,
+    linf_norm,
+    resize_nearest,
+    seeded_rng,
+    spawn_rngs,
+    ssim,
+    ssim_tensor,
+    timed,
+    to_grid,
+    trigger_iou,
+)
+
+
+class TestSSIM:
+    def test_identical_images_score_one(self):
+        x = np.random.default_rng(0).random((2, 3, 16, 16))
+        assert ssim(x, x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_different_images_score_below_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 1, 16, 16))
+        y = rng.random((2, 1, 16, 16))
+        assert ssim(x, y) < 0.9
+
+    def test_noise_reduces_ssim_monotonically(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((1, 3, 20, 20))
+        small_noise = ssim(x, np.clip(x + rng.normal(0, 0.02, x.shape), 0, 1))
+        large_noise = ssim(x, np.clip(x + rng.normal(0, 0.3, x.shape), 0, 1))
+        assert large_noise < small_noise
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((1, 1, 8, 8)), np.zeros((1, 1, 9, 9)))
+        with pytest.raises(ValueError):
+            ssim(np.zeros((8, 8)), np.zeros((8, 8)))
+
+    def test_tensor_version_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((2, 3, 12, 12)).astype(np.float32)
+        y = np.clip(x + rng.normal(0, 0.1, x.shape), 0, 1).astype(np.float32)
+        plain = ssim(x, y)
+        tensor_value = ssim_tensor(Tensor(x), Tensor(y)).item()
+        assert tensor_value == pytest.approx(plain, abs=0.02)
+
+    def test_tensor_version_is_differentiable(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.random((1, 1, 10, 10)).astype(np.float32))
+        y = Tensor(rng.random((1, 1, 10, 10)).astype(np.float32), requires_grad=True)
+        ssim_tensor(x, y).backward()
+        assert y.grad is not None and np.any(y.grad != 0)
+
+    def test_window_larger_than_image_is_clamped(self):
+        x = np.random.default_rng(0).random((1, 1, 4, 4))
+        assert ssim(x, x, window=11) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestImageHelpers:
+    def test_clip01(self):
+        out = clip01(np.array([-0.5, 0.5, 1.5]))
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0])
+
+    def test_norms(self):
+        x = np.array([[3.0, -4.0]])
+        assert l1_norm(x) == pytest.approx(7.0)
+        assert l2_norm(x) == pytest.approx(5.0)
+        assert linf_norm(x) == pytest.approx(4.0)
+        assert linf_norm(np.array([])) == 0.0
+
+    def test_resize_nearest(self):
+        image = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        resized = resize_nearest(image, (2, 2))
+        assert resized.shape == (1, 2, 2)
+        assert resized[0, 0, 0] == 0.0
+
+    def test_to_grid_shape(self):
+        images = np.random.default_rng(0).random((5, 3, 8, 8)).astype(np.float32)
+        grid = to_grid(images, columns=3, padding=1)
+        assert grid.shape[0] == 3
+        assert grid.shape[1] == 2 * 9 + 1
+        assert grid.shape[2] == 3 * 9 + 1
+
+    def test_trigger_iou_identical_masks(self):
+        mask = np.zeros((1, 8, 8))
+        mask[:, 2:4, 2:4] = 1.0
+        assert trigger_iou(mask, mask) == pytest.approx(1.0)
+
+    def test_trigger_iou_disjoint_masks(self):
+        a = np.zeros((1, 8, 8))
+        b = np.zeros((1, 8, 8))
+        a[:, :2, :2] = 1.0
+        b[:, 6:, 6:] = 1.0
+        assert trigger_iou(a, b) == 0.0
+
+    def test_trigger_iou_empty_masks(self):
+        assert trigger_iou(np.zeros((1, 4, 4)), np.zeros((1, 4, 4))) == 0.0
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_to_grid_contains_all_images(self, count):
+        images = np.ones((count, 1, 4, 4), dtype=np.float32)
+        grid = to_grid(images, columns=4)
+        assert grid.sum() == pytest.approx(count * 16)
+
+
+class TestRNG:
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(5).integers(0, 100, 10).tolist() == \
+            seeded_rng(5).integers(0, 100, 10).tolist()
+
+    def test_spawn_rngs_independent(self):
+        streams = list(spawn_rngs(0, 3))
+        values = [rng.integers(0, 10**6) for rng in streams]
+        assert len(set(values)) == 3
+
+    def test_derive_rng_tag_sensitivity(self):
+        parent_a = seeded_rng(1)
+        parent_b = seeded_rng(1)
+        a = derive_rng(parent_a, "uap").integers(0, 10**6)
+        b = derive_rng(parent_b, "nc").integers(0, 10**6)
+        assert a != b
+
+    def test_derive_rng_reproducible(self):
+        a = derive_rng(seeded_rng(2), "x").integers(0, 10**6)
+        b = derive_rng(seeded_rng(2), "x").integers(0, 10**6)
+        assert a == b
+
+
+class TestLogging:
+    def test_get_logger_singleton_handler(self):
+        first = get_logger("repro.test")
+        second = get_logger("repro.test")
+        assert first is second
+        assert isinstance(first, logging.Logger)
+
+    def test_timed_records_duration(self):
+        with timed("block") as record:
+            sum(range(1000))
+        assert record["seconds"] is not None and record["seconds"] >= 0.0
