@@ -1,0 +1,24 @@
+PYTHON ?= python
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+# Hard wall-clock budget for the tier-1 unit suite (seconds).
+TIER1_TIMEOUT ?= 120
+
+.PHONY: test tier1 bench bench-detection examples
+
+## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
+test: tier1
+tier1:
+	timeout $(TIER1_TIMEOUT) $(PYTHON) -m pytest -x -q
+
+## Full paper-scale benchmark suite (slow: trains one model per table).
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+## Detection-speed regression harness: refreshes BENCH_detection.json.
+bench-detection:
+	$(PYTHON) -m pytest benchmarks/test_table7_timing.py -q
+
+examples:
+	$(PYTHON) examples/quickstart.py

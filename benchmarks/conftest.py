@@ -1,4 +1,4 @@
-"""Benchmark configuration: path setup and result-artifact helpers."""
+"""Benchmark configuration: path setup, slow marker, result-artifact helpers."""
 
 import os
 import sys
@@ -11,6 +11,12 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 RESULTS_DIR = os.path.join(_ROOT, "results")
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a slow, model-training measurement."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

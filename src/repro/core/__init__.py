@@ -8,16 +8,20 @@ from .detection import (
     mad_anomaly_indices,
 )
 from .trigger_optimizer import (
+    BatchedTriggerMaskOptimizer,
     TriggerMaskOptimizer,
     TriggerOptimizationConfig,
     TriggerOptimizationResult,
+    blend_images,
 )
 from .uap import (
     TargetedUAPConfig,
     UAPResult,
     generate_targeted_uap,
+    generate_targeted_uaps,
     project_perturbation,
     targeted_error_rate,
+    targeted_error_rates,
 )
 from .usb import USBConfig, USBDetector
 
@@ -29,14 +33,18 @@ __all__ = [
     "ReversedTrigger",
     "TriggerReverseEngineeringDetector",
     "mad_anomaly_indices",
+    "BatchedTriggerMaskOptimizer",
     "TriggerMaskOptimizer",
     "TriggerOptimizationConfig",
     "TriggerOptimizationResult",
+    "blend_images",
     "TargetedUAPConfig",
     "UAPResult",
     "generate_targeted_uap",
+    "generate_targeted_uaps",
     "project_perturbation",
     "targeted_error_rate",
+    "targeted_error_rates",
     "USBConfig",
     "USBDetector",
 ]

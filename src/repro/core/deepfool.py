@@ -19,15 +19,17 @@ independent, so the gradient of the summed logit difference separates).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from ..nn import functional as F
 from ..nn.layers import Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, enable_grad, no_grad
 
 __all__ = ["TargetedDeepFoolConfig", "targeted_deepfool_step", "targeted_deepfool"]
+
+TargetSpec = Union[int, np.ndarray]
 
 
 @dataclass
@@ -41,49 +43,60 @@ class TargetedDeepFoolConfig:
 
 
 def _per_sample_logit_gap_gradient(model: Module, images: np.ndarray,
-                                   target_class: int
+                                   target_class: TargetSpec
                                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gradients of ``logit_target - logit_top_other`` for each sample.
+
+    ``target_class`` may be a scalar (shared target) or a per-sample vector —
+    the latter lets the batched multi-class UAP sweep push samples belonging
+    to different candidate classes through one forward/backward pass.
 
     Returns ``(gradients, gaps, predictions)`` where ``gaps`` is
     ``logit_top_other - logit_target`` (positive while the sample is not yet
     classified as the target).
     """
-    x = Tensor(images, requires_grad=True)
-    logits = model(x)
-    logits_np = logits.data
-    predictions = logits_np.argmax(axis=1)
-
-    # Top competing class: the highest logit excluding the target.
-    masked = logits_np.copy()
-    masked[:, target_class] = -np.inf
-    competitors = masked.argmax(axis=1)
-
     batch = len(images)
-    selector = np.zeros_like(logits_np)
-    selector[np.arange(batch), target_class] = 1.0
-    selector[np.arange(batch), competitors] -= 1.0
+    rows = np.arange(batch)
+    targets = np.broadcast_to(np.asarray(target_class, dtype=np.int64), (batch,))
+    x = Tensor(images, requires_grad=True)
+    with enable_grad():  # input gradients are the point, even under no_grad
+        logits = model(x)
+        logits_np = logits.data
+        predictions = logits_np.argmax(axis=1)
 
-    # d/dx of sum_i (logit_t(x_i) - logit_{k_i}(x_i)); samples are independent
-    # so this recovers each sample's own gradient.
-    (logits * Tensor(selector)).sum().backward()
-    gradients = x.grad.copy()
-    gaps = logits_np[np.arange(batch), competitors] - logits_np[np.arange(batch),
-                                                                target_class]
+        # Top competing class: the highest logit excluding the target.
+        masked = logits_np.copy()
+        masked[rows, targets] = -np.inf
+        competitors = masked.argmax(axis=1)
+
+        selector = np.zeros_like(logits_np)
+        selector[rows, targets] = 1.0
+        selector[rows, competitors] -= 1.0
+
+        # d/dx of sum_i (logit_t(x_i) - logit_{k_i}(x_i)); samples are
+        # independent so this recovers each sample's own gradient.
+        (logits * Tensor(selector)).sum().backward()
+    gradients = x.grad
+    gaps = logits_np[rows, competitors] - logits_np[rows, targets]
     return gradients, gaps, predictions
 
 
-def targeted_deepfool_step(model: Module, images: np.ndarray, target_class: int,
+def targeted_deepfool_step(model: Module, images: np.ndarray,
+                           target_class: TargetSpec,
                            overshoot: float = 0.02) -> np.ndarray:
     """One linearized minimal-perturbation step toward ``target_class``.
 
     Returns a perturbation array with the same shape as ``images``; samples
     already classified as the target receive a zero perturbation.
+    ``target_class`` may be scalar or per-sample (see
+    :func:`_per_sample_logit_gap_gradient`).
     """
     gradients, gaps, predictions = _per_sample_logit_gap_gradient(
         model, images, target_class)
     perturbation = np.zeros_like(images, dtype=np.float32)
-    active = predictions != target_class
+    targets = np.broadcast_to(np.asarray(target_class, dtype=np.int64),
+                              (len(images),))
+    active = predictions != targets
     if not np.any(active):
         return perturbation
     flat = gradients.reshape(len(images), -1)
@@ -107,7 +120,8 @@ def targeted_deepfool(model: Module, images: np.ndarray, target_class: int,
     total = np.zeros_like(images)
     current = images.copy()
     for _ in range(config.max_iterations):
-        logits = model(Tensor(current)).data
+        with no_grad():
+            logits = model(Tensor(current)).data
         if np.all(logits.argmax(axis=1) == target_class):
             break
         step = targeted_deepfool_step(model, current, target_class,

@@ -10,23 +10,49 @@ outer loop:
    "shortcut"), using the median-absolute-deviation (MAD) anomaly index from
    the Neural Cleanse paper.
 
+**Batched outer loop.**  By default :meth:`detect` runs all K candidate
+classes as *one* joint optimization: subclasses that implement
+:meth:`TriggerReverseEngineeringDetector.reverse_engineer_batch` (all three
+in-tree detectors do, via the shared
+:class:`~repro.core.trigger_optimizer.BatchedTriggerMaskOptimizer` engine)
+stack the K ``(pattern, mask)`` parameters and amortize every model
+forward/backward across classes on a ``(K·B, C, H, W)`` mega-batch.  The
+Alg. 2 refinement loss is a sum of independent per-class terms, so given the
+same per-class starting points the refinement matches the sequential loop up
+to floating-point reduction order (NC/TABOR additionally draw their random
+inits in the same order, making the two modes near-identical end to end).
+USB's batched Alg. 1 stage, however, shares one shuffle per sweep across
+classes instead of consuming the RNG per class, so its UAP seeds — and hence
+per-class trigger norms — differ from the sequential path in their random
+stream, not just in rounding; flagged classes are expected to agree, with
+anomaly indices within a small tolerance (tracked by the Table 7 harness).
+``detect`` falls back to the sequential per-class loop when the subclass
+provides no batched path, when only one class is scanned, or when
+``batched=False`` is passed explicitly (e.g. for per-class wall-clock
+measurements or A/B validation of the two paths).
+
 This module provides the data structures, the MAD outlier test, and the
-:class:`TriggerReverseEngineeringDetector` base class implementing the outer
-loop; concrete detectors only implement
-:meth:`TriggerReverseEngineeringDetector.reverse_engineer`.
+:class:`TriggerReverseEngineeringDetector` base class implementing both outer
+loops; concrete detectors implement
+:meth:`TriggerReverseEngineeringDetector.reverse_engineer` (and usually
+:meth:`TriggerReverseEngineeringDetector.reverse_engineer_batch`).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..data.dataset import Dataset
 from ..nn.layers import Module
 from ..utils.logging import get_logger
+from .trigger_optimizer import (
+    BatchedTriggerMaskOptimizer,
+    TriggerOptimizationConfig,
+)
 
 __all__ = [
     "ReversedTrigger",
@@ -142,29 +168,70 @@ class TriggerReverseEngineeringDetector:
         """Reconstruct a trigger sending clean data to ``target_class``."""
         raise NotImplementedError
 
+    def reverse_engineer_batch(self, model: Module, target_classes: Sequence[int]
+                               ) -> Optional[List[ReversedTrigger]]:
+        """Jointly reconstruct triggers for all ``target_classes`` at once.
+
+        Returns ``None`` when the detector has no batched implementation, in
+        which case :meth:`detect` falls back to the sequential per-class loop.
+        """
+        return None
+
+    def _optimize_triggers_batched(
+            self, model: Module, target_classes: Sequence[int],
+            inits: Sequence[Tuple[np.ndarray, np.ndarray]],
+            config: TriggerOptimizationConfig) -> List[ReversedTrigger]:
+        """Shared Alg. 2 mega-batch refinement used by the batched detectors."""
+        engine = BatchedTriggerMaskOptimizer(model, self.clean_data.images,
+                                             target_classes, config=config)
+        results = engine.optimize(inits)
+        return [
+            ReversedTrigger(target_class=target, pattern=result.pattern,
+                            mask=result.mask, success_rate=result.success_rate,
+                            iterations=result.iterations)
+            for target, result in zip(target_classes, results)
+        ]
+
     # ------------------------------------------------------------------ #
     # Outer detection loop
     # ------------------------------------------------------------------ #
     def detect(self, model: Module,
-               classes: Optional[Sequence[int]] = None) -> DetectionResult:
-        """Run reverse engineering for every class and apply the outlier test."""
+               classes: Optional[Sequence[int]] = None,
+               batched: bool = True) -> DetectionResult:
+        """Run reverse engineering for every class and apply the outlier test.
+
+        With ``batched=True`` (the default) the per-class optimizations are
+        fused into one mega-batch run when the detector supports it; pass
+        ``batched=False`` to force the sequential per-class loop.
+        """
         model.eval()
         was_grad = [p.requires_grad for p in model.parameters()]
         model.requires_grad_(False)
         try:
             class_list = list(classes) if classes is not None else list(
                 range(self.clean_data.num_classes))
-            triggers: List[ReversedTrigger] = []
+            triggers: Optional[List[ReversedTrigger]] = None
             start = time.perf_counter()
-            for target in class_list:
-                t0 = time.perf_counter()
-                trigger = self.reverse_engineer(model, target)
-                trigger.seconds = time.perf_counter() - t0
-                triggers.append(trigger)
-                _LOG.debug("%s class %d: L1=%.3f success=%.2f (%.1fs)", self.name,
-                           target, trigger.l1_norm, trigger.success_rate,
-                           trigger.seconds)
+            used_batched = False
+            if batched and len(class_list) > 1:
+                triggers = self.reverse_engineer_batch(model, class_list)
+                used_batched = triggers is not None
+            if triggers is None:
+                triggers = []
+                for target in class_list:
+                    t0 = time.perf_counter()
+                    trigger = self.reverse_engineer(model, target)
+                    trigger.seconds = time.perf_counter() - t0
+                    triggers.append(trigger)
+                    _LOG.debug("%s class %d: L1=%.3f success=%.2f (%.1fs)",
+                               self.name, target, trigger.l1_norm,
+                               trigger.success_rate, trigger.seconds)
             total_seconds = time.perf_counter() - start
+            if used_batched:
+                # Joint optimization amortizes the wall clock across classes.
+                per_class = total_seconds / max(len(triggers), 1)
+                for trigger in triggers:
+                    trigger.seconds = per_class
 
             norms = [t.l1_norm for t in triggers]
             position_indices = mad_anomaly_indices(norms)
@@ -180,6 +247,7 @@ class TriggerReverseEngineeringDetector:
                 flagged_classes=sorted(flagged),
                 is_backdoored=bool(flagged),
                 seconds_total=total_seconds,
+                metadata={"batched": 1.0 if used_batched else 0.0},
             )
         finally:
             for param, flag in zip(model.parameters(), was_grad):

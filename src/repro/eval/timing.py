@@ -8,7 +8,10 @@ across models of the same architecture.
 
 :func:`measure_detection_times` reproduces that measurement for any trained
 model: it times ``reverse_engineer`` per class for every detector and returns
-both the per-class times (Table 7) and the per-model totals (§4.4).
+both the per-class times (Table 7) and the per-model totals (§4.4).  Passing
+``batched=True`` times the joint multi-class scan instead (one mega-batch
+optimization for all classes, see :mod:`repro.core.detection`), attributing
+the amortized per-class share of the total to every class.
 """
 
 from __future__ import annotations
@@ -32,6 +35,8 @@ class ClassTiming:
 
     detector: str
     per_class_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Whether the per-class figures are amortized shares of one batched scan.
+    batched: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -56,6 +61,8 @@ class TimingReport:
         for timing in self.timings:
             row: Dict[str, object] = {"case": self.case_name,
                                       "method": timing.detector,
+                                      "mode": "batched" if timing.batched
+                                              else "sequential",
                                       "total_s": round(timing.total_seconds, 2),
                                       "mean_s": round(timing.mean_seconds, 2)}
             for cls, seconds in sorted(timing.per_class_seconds.items()):
@@ -77,8 +84,15 @@ class TimingReport:
 def measure_detection_times(model: Module,
                             detectors: Dict[str, TriggerReverseEngineeringDetector],
                             classes: Optional[Sequence[int]] = None,
-                            case_name: str = "timing") -> TimingReport:
-    """Time per-class reverse engineering of every detector on ``model``."""
+                            case_name: str = "timing",
+                            batched: bool = False) -> TimingReport:
+    """Time per-class reverse engineering of every detector on ``model``.
+
+    With ``batched=True`` each detector's joint multi-class scan is timed
+    instead, and every class is attributed the amortized ``total / K`` share;
+    detectors without a batched implementation fall back to the sequential
+    per-class measurement.
+    """
     model.eval()
     was_grad = [p.requires_grad for p in model.parameters()]
     model.requires_grad_(False)
@@ -88,11 +102,22 @@ def measure_detection_times(model: Module,
             class_list = list(classes) if classes is not None else list(
                 range(detector.clean_data.num_classes))
             per_class: Dict[int, float] = {}
-            for target in class_list:
+            used_batched = False
+            if batched and len(class_list) > 1:
                 start = time.perf_counter()
-                detector.reverse_engineer(model, target)
-                per_class[target] = time.perf_counter() - start
-            timings.append(ClassTiming(detector=name, per_class_seconds=per_class))
+                triggers = detector.reverse_engineer_batch(model, class_list)
+                elapsed = time.perf_counter() - start
+                if triggers is not None:
+                    share = elapsed / len(class_list)
+                    per_class = {target: share for target in class_list}
+                    used_batched = True
+            if not used_batched:
+                for target in class_list:
+                    start = time.perf_counter()
+                    detector.reverse_engineer(model, target)
+                    per_class[target] = time.perf_counter() - start
+            timings.append(ClassTiming(detector=name, per_class_seconds=per_class,
+                                       batched=used_batched))
         return TimingReport(case_name=case_name, timings=timings)
     finally:
         for param, flag in zip(model.parameters(), was_grad):

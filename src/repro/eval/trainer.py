@@ -19,7 +19,7 @@ from ..data.transforms import Compose, RandomCrop, RandomHorizontalFlip, RandomN
 from ..nn import functional as F
 from ..nn.layers import Module
 from ..nn.optim import SGD, Adam
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, no_grad
 from ..utils.logging import get_logger
 
 __all__ = ["TrainingConfig", "TrainedModel", "Trainer",
@@ -73,11 +73,12 @@ def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 128) ->
         return 0.0
     model.eval()
     correct = 0
-    for start in range(0, len(dataset), batch_size):
-        images = dataset.images[start:start + batch_size]
-        labels = dataset.labels[start:start + batch_size]
-        preds = model(Tensor(images)).data.argmax(axis=1)
-        correct += int((preds == labels).sum())
+    with no_grad():
+        for start in range(0, len(dataset), batch_size):
+            images = dataset.images[start:start + batch_size]
+            labels = dataset.labels[start:start + batch_size]
+            preds = model(Tensor(images)).data.argmax(axis=1)
+            correct += int((preds == labels).sum())
     return correct / len(dataset)
 
 
@@ -92,11 +93,12 @@ def evaluate_asr(model: Module, dataset: Dataset, attack: BackdoorAttack,
         return 0.0
     model.eval()
     hits = 0
-    for start in range(0, len(images), batch_size):
-        batch = images[start:start + batch_size]
-        triggered = attack.apply_trigger(batch, rng)
-        preds = model(Tensor(triggered)).data.argmax(axis=1)
-        hits += int((preds == attack.target_class).sum())
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = images[start:start + batch_size]
+            triggered = attack.apply_trigger(batch, rng)
+            preds = model(Tensor(triggered)).data.argmax(axis=1)
+            hits += int((preds == attack.target_class).sum())
     return hits / len(images)
 
 

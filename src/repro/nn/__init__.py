@@ -4,7 +4,34 @@ This package replaces PyTorch for the reproduction: it provides tensors with
 reverse-mode automatic differentiation, convolutional/pooling/normalization
 layers, losses, optimizers and serialization.  See ``DESIGN.md`` for the
 substitution rationale.
+
+On import the package raises glibc's mmap/trim thresholds so that the large
+activation temporaries produced by mega-batch forwards are served from the
+reusable heap instead of being mmap'd and returned to the kernel on every
+free — without this, batches beyond ~1 MB per intermediate hit a page-fault
+cliff that makes per-sample cost ~5x worse.  Set ``REPRO_NO_MALLOC_TUNING=1``
+to disable.
 """
+
+import ctypes as _ctypes
+import os as _os
+
+
+def _tune_allocator() -> bool:
+    """Raise glibc malloc thresholds so big NumPy temporaries recycle pages."""
+    if _os.environ.get("REPRO_NO_MALLOC_TUNING"):
+        return False
+    try:
+        libc = _ctypes.CDLL("libc.so.6")
+        threshold = 512 * 1024 * 1024
+        m_mmap_threshold, m_trim_threshold = -3, -1
+        return bool(libc.mallopt(m_mmap_threshold, threshold)
+                    and libc.mallopt(m_trim_threshold, threshold))
+    except (OSError, AttributeError):  # non-glibc platform: nothing to tune
+        return False
+
+
+_ALLOCATOR_TUNED = _tune_allocator()
 
 from . import functional
 from . import init
@@ -31,7 +58,15 @@ from .layers import (
 from .losses import CrossEntropyLoss, MSELoss, NLLLoss
 from .optim import SGD, Adam, Optimizer
 from .serialization import load_model, load_state_dict, save_model, save_state_dict
-from .tensor import Tensor, concatenate, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
 
 __all__ = [
     "functional",
@@ -40,6 +75,9 @@ __all__ = [
     "concatenate",
     "stack",
     "where",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
     "Module",
     "Parameter",
     "Sequential",

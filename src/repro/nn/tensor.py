@@ -25,6 +25,50 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _DEFAULT_DTYPE = np.float32
 
+#: Global autograd switch.  When ``False`` (inside a :func:`no_grad` block),
+#: operations do not record the tape: no backward closures are constructed and
+#: no parent references are kept, so eval-only forwards run at minimal cost.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+class _GradMode:
+    """Context manager toggling global gradient recording (reentrant)."""
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = enabled
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "_GradMode":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = self._enabled
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def no_grad() -> _GradMode:
+    """Disable autograd recording inside a ``with`` block.
+
+    Used by every inference-only call site (accuracy / ASR / success-rate /
+    targeted-error-rate evaluation): forwards inside the block build no
+    ``_backward`` closures and track no parents, which both skips allocation
+    and lets intermediate activations be freed as soon as possible.
+    """
+    return _GradMode(False)
+
+
+def enable_grad() -> _GradMode:
+    """Re-enable autograd recording inside a ``with`` block (inverse of :func:`no_grad`)."""
+    return _GradMode(True)
+
 
 def _as_array(data: ArrayLike, dtype=_DEFAULT_DTYPE) -> np.ndarray:
     """Coerce ``data`` to a NumPy array of the default floating dtype."""
@@ -129,8 +173,12 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Tuple["Tensor", ...],
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create a graph node from ``data`` produced by ``parents``."""
-        requires_grad = any(p.requires_grad for p in parents)
+        """Create a graph node from ``data`` produced by ``parents``.
+
+        Inside a :func:`no_grad` block the node is detached: no parents and no
+        backward closure are retained regardless of the parents' flags.
+        """
+        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires_grad)
         if requires_grad:
             out._prev = tuple(p for p in parents if p.requires_grad)
@@ -138,14 +186,21 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        Gradient arrays are treated as immutable once handed over (no code in
+        the engine mutates a received gradient in place), so the first
+        accumulation stores the array without a defensive copy — one full
+        pass saved per graph node — and later fan-in accumulations combine
+        out-of-place.
+        """
         if not self.requires_grad:
             return
         grad = unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad
         else:
-            self.grad += grad
+            self.grad = self.grad + grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate gradients from this tensor through the graph.
@@ -202,6 +257,10 @@ class Tensor:
 
         return Tensor._make(out_data, (self, other), backward)
 
+    # NOTE: binary-op backwards below only *compute* a side's product when that
+    # side requires a gradient — with frozen models (detection loops) half of
+    # these full-size temporaries would otherwise be built and thrown away.
+
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
@@ -230,8 +289,10 @@ class Tensor:
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other.data)
-            other._accumulate(grad * self.data)
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -242,8 +303,10 @@ class Tensor:
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / (other.data ** 2))
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data ** 2))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -317,7 +380,8 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        with np.errstate(over="ignore"):  # exp overflow saturates to 0/1
+            out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -351,8 +415,10 @@ class Tensor:
         self_wins = self.data >= other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * self_wins)
-            other._accumulate(grad * (~self_wins))
+            if self.requires_grad:
+                self._accumulate(grad * self_wins)
+            if other.requires_grad:
+                other._accumulate(grad * (~self_wins))
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -439,10 +505,19 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        # Basic indexing (ints/slices) selects disjoint elements, so the
+        # backward scatter is a plain strided assignment; only fancy (array)
+        # indexing can repeat elements and needs the unbuffered np.add.at.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(isinstance(p, (int, slice, type(None), type(Ellipsis)))
+                    for p in parts)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
+            if basic:
+                full[index] += grad
+            else:
+                np.add.at(full, index, grad)
             self._accumulate(full)
 
         return Tensor._make(out_data, (self,), backward)
@@ -501,7 +576,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     out_data = np.where(condition, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
-        a._accumulate(grad * condition)
-        b._accumulate(grad * (~condition))
+        if a.requires_grad:
+            a._accumulate(grad * condition)
+        if b.requires_grad:
+            b._accumulate(grad * (~condition))
 
     return Tensor._make(out_data, (a, b), backward)

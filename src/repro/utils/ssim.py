@@ -14,12 +14,14 @@ window type and the detection behaviour is insensitive to it.
 
 from __future__ import annotations
 
+from typing import Optional, Tuple
+
 import numpy as np
 
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 
-__all__ = ["ssim", "ssim_tensor"]
+__all__ = ["ssim", "ssim_tensor", "ssim_x_stats"]
 
 _C1 = 0.01 ** 2
 _C2 = 0.03 ** 2
@@ -71,30 +73,91 @@ def ssim(x: np.ndarray, y: np.ndarray, window: int = 7,
     return float(np.mean(numerator / denominator))
 
 
+def _box_transpose(z: np.ndarray, window: int) -> np.ndarray:
+    """Adjoint of the mean box filter: scatter each window value back."""
+    pad = window - 1
+    padded = F._pad2d_zeros(z, pad, pad, pad, pad)
+    return F._box_sum_valid(padded, window) / (window * window)
+
+
+def ssim_x_stats(x: np.ndarray, window: int = 7
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Precompute the x-side SSIM filter maps ``(mu_x, mu_xx)``.
+
+    The reference-image statistics are independent of the optimized trigger,
+    so callers looping over the same clean batch (the batched trigger engine)
+    compute them once and pass them to :func:`ssim_tensor` via ``x_stats``.
+    """
+    window = min(window, x.shape[2], x.shape[3])
+    area = window * window
+    return (F._box_sum_valid(x, window) / area,
+            F._box_sum_valid(x * x, window) / area)
+
+
 def ssim_tensor(x: Tensor, y: Tensor, window: int = 7,
-                data_range: float = 1.0) -> Tensor:
+                data_range: float = 1.0,
+                x_stats: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                ) -> Tensor:
     """Differentiable mean SSIM between ``(N, C, H, W)`` tensors.
 
     Gradients flow to both ``x`` and ``y``; in the USB loss only ``y`` (the
     perturbed image) carries gradients back to the trigger and mask.
+
+    Fused into a single graph node: the forward runs on integral images and
+    the backward applies the analytic SSIM gradient (three adjoint box filters
+    per differentiated input) instead of unrolling ~70 elementwise tape ops —
+    this keeps the USB loss cheap even on ``(K·B, C, H, W)`` mega-batches.
     """
     if x.data.shape != y.data.shape:
         raise ValueError("SSIM inputs must share a shape.")
     window = min(window, x.data.shape[2], x.data.shape[3])
+    area = window * window
 
     c1 = _C1 * data_range ** 2
     c2 = _C2 * data_range ** 2
 
-    mu_x = F.uniform_filter2d(x, window)
-    mu_y = F.uniform_filter2d(y, window)
-    mu_xx = F.uniform_filter2d(x * x, window)
-    mu_yy = F.uniform_filter2d(y * y, window)
-    mu_xy = F.uniform_filter2d(x * y, window)
+    x_data = x.data
+    y_data = y.data
+    if x_stats is not None:
+        mu_x, mu_xx = x_stats
+    else:
+        mu_x = F._box_sum_valid(x_data, window) / area
+        mu_xx = F._box_sum_valid(x_data * x_data, window) / area
+    mu_y = F._box_sum_valid(y_data, window) / area
+    mu_yy = F._box_sum_valid(y_data * y_data, window) / area
+    mu_xy = F._box_sum_valid(x_data * y_data, window) / area
 
-    sigma_x = mu_xx - mu_x * mu_x
-    sigma_y = mu_yy - mu_y * mu_y
+    sigma_x = mu_xx - mu_x ** 2
+    sigma_y = mu_yy - mu_y ** 2
     sigma_xy = mu_xy - mu_x * mu_y
 
-    numerator = (mu_x * mu_y * 2.0 + c1) * (sigma_xy * 2.0 + c2)
-    denominator = (mu_x * mu_x + mu_y * mu_y + c1) * (sigma_x + sigma_y + c2)
-    return (numerator / denominator).mean()
+    a1 = 2.0 * mu_x * mu_y + c1
+    a2 = 2.0 * sigma_xy + c2
+    b1 = mu_x ** 2 + mu_y ** 2 + c1
+    b2 = sigma_x + sigma_y + c2
+    denom = b1 * b2
+    ssim_map = (a1 * a2) / denom
+    out = np.asarray(ssim_map.mean(), dtype=np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        # d mean(S) / d mu_* maps, with S = A1 A2 / (B1 B2) and
+        # sigma terms re-expressed through mu_yy/mu_xy (resp. mu_xx).
+        scale = float(grad) / ssim_map.size
+        common = scale * (a2 - a1) * 2.0 / denom
+        split = scale * ssim_map * 2.0 * (1.0 / b1 - 1.0 / b2)
+        d_mu_xy = scale * 2.0 * a1 / denom
+        d_mu_sq = -scale * ssim_map / b2  # coefficient of mu_xx / mu_yy
+        if y.requires_grad:
+            d_mu_y = mu_x * common - mu_y * split
+            grad_y = (_box_transpose(d_mu_y, window)
+                      + 2.0 * y_data * _box_transpose(d_mu_sq, window)
+                      + x_data * _box_transpose(d_mu_xy, window))
+            y._accumulate(grad_y.astype(y.data.dtype))
+        if x.requires_grad:
+            d_mu_x = mu_y * common - mu_x * split
+            grad_x = (_box_transpose(d_mu_x, window)
+                      + 2.0 * x_data * _box_transpose(d_mu_sq, window)
+                      + y_data * _box_transpose(d_mu_xy, window))
+            x._accumulate(grad_x.astype(x.data.dtype))
+
+    return Tensor._make(out, (x, y), backward)
