@@ -20,5 +20,10 @@ bench:
 bench-detection:
 	$(PYTHON) -m pytest benchmarks/test_table7_timing.py -q
 
+## Smoke-run every example end to end (slowest last; ~minutes on a CPU).
 examples:
 	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/compare_detectors.py
+	$(PYTHON) examples/reuse_uap_across_models.py
+	$(PYTHON) examples/dynamic_backdoor_iad.py
+	$(PYTHON) examples/scan_service.py

@@ -1,0 +1,8 @@
+"""``python -m repro`` — entry point for the scanning-service CLI."""
+
+import sys
+
+from .service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

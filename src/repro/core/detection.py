@@ -124,6 +124,64 @@ class DetectionResult:
         values = [t.l1_norm for t in self.triggers]
         return float(min(values)) if values else 0.0
 
+    # ------------------------------------------------------------------ #
+    # Compact (JSON-safe) round trip
+    # ------------------------------------------------------------------ #
+    def to_compact_dict(self) -> Dict[str, object]:
+        """JSON-safe summary without the trigger pattern/mask arrays.
+
+        The scanning service persists these to its JSONL result store; the
+        arrays (the bulk of a result) are dropped, keeping per-class L1
+        norms and success rates so the verdict-level API still works after
+        :meth:`from_compact_dict`.
+        """
+        return {
+            "detector": self.detector,
+            "is_backdoored": bool(self.is_backdoored),
+            "flagged_classes": [int(c) for c in self.flagged_classes],
+            "anomaly_indices": {str(c): float(v)
+                                for c, v in self.anomaly_indices.items()},
+            "per_class_l1": {str(t.target_class): float(t.l1_norm)
+                             for t in self.triggers},
+            "success_rates": {str(t.target_class): float(t.success_rate)
+                              for t in self.triggers},
+            "seconds_total": float(self.seconds_total),
+            "metadata": {str(k): float(v) for k, v in self.metadata.items()},
+        }
+
+    @classmethod
+    def from_compact_dict(cls, payload: Dict[str, object]) -> "DetectionResult":
+        """Rebuild a verdict-equivalent result from :meth:`to_compact_dict`.
+
+        The reconstructed triggers carry a 1x1x1 pattern holding the stored
+        L1 norm (with a mask of ones), so ``l1_norm`` — and everything
+        derived from it (``per_class_l1``, ``min_l1``, ``median_l1``) —
+        matches the original result; the spatial layout is gone.
+        """
+        success = {int(c): float(v)
+                   for c, v in dict(payload.get("success_rates", {})).items()}
+        triggers = [
+            ReversedTrigger(
+                target_class=int(cls_key),
+                pattern=np.full((1, 1, 1), float(norm), dtype=np.float64),
+                mask=np.ones((1, 1, 1), dtype=np.float64),
+                success_rate=success.get(int(cls_key), 0.0),
+            )
+            for cls_key, norm in dict(payload["per_class_l1"]).items()
+        ]
+        triggers.sort(key=lambda t: t.target_class)
+        return cls(
+            detector=str(payload["detector"]),
+            triggers=triggers,
+            anomaly_indices={int(c): float(v)
+                             for c, v in dict(payload["anomaly_indices"]).items()},
+            flagged_classes=sorted(int(c) for c in payload["flagged_classes"]),
+            is_backdoored=bool(payload["is_backdoored"]),
+            seconds_total=float(payload.get("seconds_total", 0.0)),
+            metadata={str(k): float(v)
+                      for k, v in dict(payload.get("metadata", {})).items()},
+        )
+
 
 def mad_anomaly_indices(norms: Sequence[float]) -> Dict[int, float]:
     """Anomaly index of each value under the MAD outlier model.

@@ -15,8 +15,9 @@ mean clean accuracy and ASR.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,9 +47,13 @@ __all__ = [
     "ExperimentConfig",
     "CaseResult",
     "ExperimentResult",
+    "CaseModelJob",
+    "CaseModelOutcome",
+    "FleetModelSummary",
     "build_attack",
     "build_case_detectors",
     "run_case",
+    "run_case_model_job",
     "run_experiment",
     "table1_config",
     "table2_config",
@@ -170,10 +175,15 @@ class ExperimentConfig:
 # ---------------------------------------------------------------------- #
 @dataclass
 class CaseResult:
-    """Everything measured for one case (fleet of models + all detectors)."""
+    """Everything measured for one case (fleet of models + all detectors).
+
+    ``trained`` holds full :class:`TrainedModel` objects for serial runs and
+    lightweight :class:`FleetModelSummary` entries for scheduler-dispatched
+    runs; both expose ``clean_accuracy`` / ``attack_success_rate``.
+    """
 
     case: CaseSpec
-    trained: List[TrainedModel]
+    trained: Sequence[object]
     summaries: Dict[str, DetectionCaseSummary]
 
     @property
@@ -286,57 +296,76 @@ def _detection_classes(num_classes: int, scale: ExperimentScale,
 # ---------------------------------------------------------------------- #
 # Runner
 # ---------------------------------------------------------------------- #
+def _train_case_model(config: ExperimentConfig, case: CaseSpec, case_seed: int,
+                      model_index: int) -> Tuple[TrainedModel, Optional[int], int, Dataset]:
+    """Train one model of one case; returns (trained, true_target, seed, test set)."""
+    scale = config.scale
+    spec = DATASET_SPECS[config.dataset]
+    model_seed = case_seed * 1000 + model_index
+    train_set, test_set = load_dataset(
+        config.dataset, samples_per_class=scale.samples_per_class,
+        test_per_class=scale.test_per_class, seed=model_seed,
+        image_size=scale.image_size)
+    image_shape = train_set.image_shape
+
+    model = build_model(config.model, num_classes=spec.num_classes,
+                        in_channels=spec.channels, image_size=image_shape[1],
+                        rng=np.random.default_rng(model_seed + 1),
+                        **scale.model_kwargs)
+    trainer = Trainer(TrainingConfig(epochs=scale.epochs,
+                                     batch_size=scale.batch_size,
+                                     lr=scale.learning_rate),
+                      rng=np.random.default_rng(model_seed + 2))
+
+    if case.is_clean:
+        trained = trainer.train_clean(model, train_set, test_set, seed=model_seed)
+        true_target = None
+    else:
+        attack = build_attack(case.attack, image_shape,
+                              np.random.default_rng(model_seed + 3))
+        trained = trainer.train_backdoored(model, train_set, test_set, attack,
+                                           seed=model_seed)
+        true_target = case.attack.target_class
+    _LOG.info("%s/%s model %d: acc=%.3f asr=%s", config.name, case.name,
+              model_index, trained.clean_accuracy,
+              f"{trained.attack_success_rate:.3f}"
+              if trained.attack_success_rate is not None else "n/a")
+    return trained, true_target, model_seed, test_set
+
+
+def _detect_case_model(config: ExperimentConfig, case: CaseSpec,
+                       trained: TrainedModel, true_target: Optional[int],
+                       model_seed: int, model_index: int,
+                       test_set: Dataset) -> Dict[str, ModelDetectionRecord]:
+    """Run every configured detector on one trained model."""
+    scale = config.scale
+    spec = DATASET_SPECS[config.dataset]
+    clean_data = stratified_sample(test_set, scale.clean_budget,
+                                   np.random.default_rng(model_seed + 4))
+    detectors = build_case_detectors(clean_data, scale, config.detectors,
+                                     np.random.default_rng(model_seed + 5))
+    classes = _detection_classes(spec.num_classes, scale, true_target)
+    records: Dict[str, ModelDetectionRecord] = {}
+    for detector_name, detector in detectors.items():
+        detection = detector.detect(trained.model, classes=classes)
+        records[detector_name] = ModelDetectionRecord(
+            model_index=model_index, is_backdoored_truth=not case.is_clean,
+            true_target_class=true_target, detection=detection)
+    return records
+
+
 def run_case(config: ExperimentConfig, case: CaseSpec, seed: int) -> CaseResult:
     """Train the fleet for one case and run every detector on every model."""
     scale = config.scale
-    spec = DATASET_SPECS[config.dataset]
     trained_models: List[TrainedModel] = []
     records: Dict[str, List[ModelDetectionRecord]] = {}
-
     for model_index in range(scale.models_per_case):
-        model_seed = seed * 1000 + model_index
-        rng = np.random.default_rng(model_seed)
-        train_set, test_set = load_dataset(
-            config.dataset, samples_per_class=scale.samples_per_class,
-            test_per_class=scale.test_per_class, seed=model_seed,
-            image_size=scale.image_size)
-        image_shape = train_set.image_shape
-
-        model = build_model(config.model, num_classes=spec.num_classes,
-                            in_channels=spec.channels, image_size=image_shape[1],
-                            rng=np.random.default_rng(model_seed + 1),
-                            **scale.model_kwargs)
-        trainer = Trainer(TrainingConfig(epochs=scale.epochs,
-                                         batch_size=scale.batch_size,
-                                         lr=scale.learning_rate),
-                          rng=np.random.default_rng(model_seed + 2))
-
-        if case.is_clean:
-            trained = trainer.train_clean(model, train_set, test_set, seed=model_seed)
-            true_target = None
-        else:
-            attack = build_attack(case.attack, image_shape,
-                                  np.random.default_rng(model_seed + 3))
-            trained = trainer.train_backdoored(model, train_set, test_set, attack,
-                                               seed=model_seed)
-            true_target = case.attack.target_class
+        trained, true_target, model_seed, test_set = _train_case_model(
+            config, case, seed, model_index)
         trained_models.append(trained)
-        _LOG.info("%s/%s model %d: acc=%.3f asr=%s", config.name, case.name,
-                  model_index, trained.clean_accuracy,
-                  f"{trained.attack_success_rate:.3f}"
-                  if trained.attack_success_rate is not None else "n/a")
-
-        clean_data = stratified_sample(test_set, scale.clean_budget,
-                                       np.random.default_rng(model_seed + 4))
-        detectors = build_case_detectors(clean_data, scale, config.detectors,
-                                         np.random.default_rng(model_seed + 5))
-        classes = _detection_classes(spec.num_classes, scale, true_target)
-        for detector_name, detector in detectors.items():
-            detection = detector.detect(trained.model, classes=classes)
-            record = ModelDetectionRecord(model_index=model_index,
-                                          is_backdoored_truth=not case.is_clean,
-                                          true_target_class=true_target,
-                                          detection=detection)
+        model_records = _detect_case_model(config, case, trained, true_target,
+                                           model_seed, model_index, test_set)
+        for detector_name, record in model_records.items():
             records.setdefault(detector_name, []).append(record)
 
     summaries = {name: summarize_case(case.name, name, recs)
@@ -344,13 +373,174 @@ def run_case(config: ExperimentConfig, case: CaseSpec, seed: int) -> CaseResult:
     return CaseResult(case=case, trained=trained_models, summaries=summaries)
 
 
-def run_experiment(config: ExperimentConfig, seed: int = 0) -> ExperimentResult:
-    """Run every case of an experiment and collect paper-style rows."""
+# ---------------------------------------------------------------------- #
+# Scheduler-dispatched fleet (process-parallel across cases x models)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CaseModelJob:
+    """Picklable unit of fleet work: train one model of one case, scan it."""
+
+    config: ExperimentConfig
+    case: CaseSpec
+    case_index: int
+    case_seed: int
+    model_index: int
+    #: When set, the worker saves a fingerprinted checkpoint here.
+    checkpoint_dir: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class FleetModelSummary:
+    """Light substitute for :class:`TrainedModel` in scheduler-run fleets.
+
+    Workers do not ship trained weights back to the parent; they return this
+    summary (plus, optionally, a fingerprinted on-disk checkpoint), which
+    carries everything :class:`CaseResult` aggregates.
+    """
+
+    clean_accuracy: float
+    attack_success_rate: Optional[float]
+    is_backdoored: bool
+    seed: Optional[int] = None
+    fingerprint: Optional[str] = None
+    checkpoint: Optional[str] = None
+
+
+@dataclass
+class CaseModelOutcome:
+    """Worker -> parent payload: one model's summary + compact detections."""
+
+    case_index: int
+    model_index: int
+    summary: FleetModelSummary
+    #: detector name -> ``ModelDetectionRecord.to_dict()`` payload.
+    records: Dict[str, Dict[str, object]]
+
+
+def run_case_model_job(job: CaseModelJob) -> CaseModelOutcome:
+    """Worker entry point: train + detect one (case, model) cell.
+
+    Module-level (picklable under any multiprocessing start method) and a
+    thin composition of the same helpers :func:`run_case` uses, so the
+    scheduler path reproduces the serial path's verdicts exactly.
+    """
+    from ..nn.serialization import save_model
+    from ..service.fingerprint import fingerprint_model
+
+    config, case = job.config, job.case
+    trained, true_target, model_seed, test_set = _train_case_model(
+        config, case, job.case_seed, job.model_index)
+    records = _detect_case_model(config, case, trained, true_target,
+                                 model_seed, job.model_index, test_set)
+    fingerprint = fingerprint_model(trained.model)
+    checkpoint: Optional[str] = None
+    if job.checkpoint_dir:
+        checkpoint = os.path.join(
+            job.checkpoint_dir,
+            f"{config.name}_{case.name}_m{job.model_index}.npz")
+        spec = DATASET_SPECS[config.dataset]
+        save_model(trained.model, checkpoint, metadata={
+            "model": config.model,
+            "dataset": config.dataset,
+            "image_size": config.scale.image_size or spec.image_size,
+            "model_kwargs": dict(config.scale.model_kwargs),
+            "experiment": config.name,
+            "case": case.name,
+            "model_index": job.model_index,
+            "seed": model_seed,
+            "clean_accuracy": trained.clean_accuracy,
+            "attack_success_rate": trained.attack_success_rate,
+            "is_backdoored": trained.is_backdoored,
+        })
+    summary = FleetModelSummary(
+        clean_accuracy=trained.clean_accuracy,
+        attack_success_rate=trained.attack_success_rate,
+        is_backdoored=trained.is_backdoored, seed=model_seed,
+        fingerprint=fingerprint, checkpoint=checkpoint)
+    return CaseModelOutcome(
+        case_index=job.case_index, model_index=job.model_index,
+        summary=summary,
+        records={name: record.to_dict() for name, record in records.items()})
+
+
+def _record_fleet_scans(config: ExperimentConfig, case: CaseSpec,
+                        outcome: CaseModelOutcome, scheduler) -> None:
+    """Append one store record per (model, detector) of a fleet outcome."""
+    from ..service.fingerprint import digest_config, scan_key
+    from ..service.records import ScanRecord
+
+    store = scheduler.store
+    summary = outcome.summary
+    if store is None or summary.fingerprint is None:
+        return
+    for detector_name, payload in outcome.records.items():
+        record = ModelDetectionRecord.from_dict(payload)
+        digest = digest_config({
+            "experiment": config.name, "detector": detector_name.lower(),
+            "scale": config.scale, "dataset": config.dataset,
+        })
+        store.add(ScanRecord.from_detection(
+            key=scan_key(summary.fingerprint, detector_name, digest),
+            fingerprint=summary.fingerprint, config_digest=digest,
+            checkpoint=summary.checkpoint
+            or f"<fleet:{config.name}/{case.name}#{outcome.model_index}>",
+            model=config.model, dataset=config.dataset,
+            detection=record.detection,
+            extra={"clean_accuracy": summary.clean_accuracy,
+                   **({"attack_success_rate": summary.attack_success_rate}
+                      if summary.attack_success_rate is not None else {})}))
+
+
+def run_experiment(config: ExperimentConfig, seed: int = 0,
+                   scheduler=None,
+                   checkpoint_dir: Optional[str] = None) -> ExperimentResult:
+    """Run every case of an experiment and collect paper-style rows.
+
+    Without a ``scheduler`` the fleet runs serially in-process (the
+    historical behaviour, and what the unit tests exercise).  With a
+    :class:`repro.service.ScanScheduler` the (case, model) grid is dispatched
+    as independent jobs — process-parallel for ``workers > 1``, inline
+    otherwise — and, when the scheduler carries a result store, every
+    model's detections are recorded there under its weight fingerprint.
+    ``checkpoint_dir`` additionally makes workers persist each trained model
+    as a metadata-tagged checkpoint that ``python -m repro scan`` can replay.
+    """
+    if scheduler is None:
+        case_results = []
+        for case_index, case in enumerate(config.cases):
+            _LOG.info("Running %s case '%s' (%d/%d)", config.name, case.name,
+                      case_index + 1, len(config.cases))
+            case_results.append(run_case(config, case, seed=seed + case_index))
+        return ExperimentResult(config=config, cases=case_results)
+
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+    jobs = [CaseModelJob(config=config, case=case, case_index=case_index,
+                         case_seed=seed + case_index, model_index=model_index,
+                         checkpoint_dir=checkpoint_dir)
+            for case_index, case in enumerate(config.cases)
+            for model_index in range(config.scale.models_per_case)]
+    _LOG.info("Dispatching %s: %d job(s) across %d worker(s).", config.name,
+              len(jobs), max(getattr(scheduler, "workers", 1), 1))
+    outcomes: List[CaseModelOutcome] = scheduler.run_jobs(run_case_model_job,
+                                                          jobs)
+
     case_results = []
     for case_index, case in enumerate(config.cases):
-        _LOG.info("Running %s case '%s' (%d/%d)", config.name, case.name,
-                  case_index + 1, len(config.cases))
-        case_results.append(run_case(config, case, seed=seed + case_index))
+        case_outcomes = sorted(
+            (o for o in outcomes if o.case_index == case_index),
+            key=lambda o: o.model_index)
+        records: Dict[str, List[ModelDetectionRecord]] = {}
+        for outcome in case_outcomes:
+            for detector_name, payload in outcome.records.items():
+                records.setdefault(detector_name, []).append(
+                    ModelDetectionRecord.from_dict(payload))
+            _record_fleet_scans(config, case, outcome, scheduler)
+        summaries = {name: summarize_case(case.name, name, recs)
+                     for name, recs in records.items()}
+        case_results.append(CaseResult(
+            case=case, trained=[o.summary for o in case_outcomes],
+            summaries=summaries))
     return ExperimentResult(config=config, cases=case_results)
 
 

@@ -61,6 +61,36 @@ class ModelDetectionRecord:
         return classify_target_detection(self.detection.flagged_classes,
                                          self.true_target_class)
 
+    # ------------------------------------------------------------------ #
+    # Compact (JSON/pickle-friendly) round trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form used when records cross process boundaries.
+
+        The detection payload is the compact summary
+        (:meth:`~repro.core.detection.DetectionResult.to_compact_dict`), so
+        fleet workers stream verdict-complete records back without shipping
+        the reversed-trigger arrays.
+        """
+        return {
+            "model_index": int(self.model_index),
+            "is_backdoored_truth": bool(self.is_backdoored_truth),
+            "true_target_class": (int(self.true_target_class)
+                                  if self.true_target_class is not None else None),
+            "detection": self.detection.to_compact_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModelDetectionRecord":
+        """Rebuild a record (with a compact detection) from :meth:`to_dict`."""
+        target = payload.get("true_target_class")
+        return cls(
+            model_index=int(payload["model_index"]),
+            is_backdoored_truth=bool(payload["is_backdoored_truth"]),
+            true_target_class=int(target) if target is not None else None,
+            detection=DetectionResult.from_compact_dict(payload["detection"]),
+        )
+
 
 def classify_target_detection(flagged_classes: List[int],
                               true_target: Optional[int]) -> TargetClassOutcome:

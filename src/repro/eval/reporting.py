@@ -9,7 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-__all__ = ["format_table", "format_rows", "detection_table_columns"]
+__all__ = ["format_table", "format_rows", "detection_table_columns",
+           "format_scan_records", "scan_record_columns"]
 
 #: Column order matching Tables 1-6 of the paper.
 detection_table_columns: Sequence[str] = (
@@ -54,3 +55,22 @@ def format_rows(rows: Iterable[Dict[str, object]], title: str = "") -> str:
         return title or "(no rows)"
     columns = list(rows[0].keys())
     return format_table(rows, columns=columns, title=title)
+
+
+#: Column order of the scanning service's ``grid`` / ``report`` tables.
+scan_record_columns: Sequence[str] = (
+    "checkpoint", "model", "dataset", "method", "verdict", "flagged",
+    "suspect", "seconds", "cached",
+)
+
+
+def format_scan_records(records: Iterable[object], title: str = "") -> str:
+    """Render service :class:`~repro.service.records.ScanRecord` objects.
+
+    Accepts anything exposing ``as_row()`` (duck-typed so this module stays
+    import-independent of the service layer).
+    """
+    rows = [record.as_row() for record in records]
+    if not rows:
+        return title or "(no scan records)"
+    return format_table(rows, columns=scan_record_columns, title=title)

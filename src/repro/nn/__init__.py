@@ -57,7 +57,15 @@ from .layers import (
 )
 from .losses import CrossEntropyLoss, MSELoss, NLLLoss
 from .optim import SGD, Adam, Optimizer
-from .serialization import load_model, load_state_dict, save_model, save_state_dict
+from .serialization import (
+    CheckpointMismatchError,
+    load_checkpoint,
+    load_model,
+    load_state_dict,
+    save_model,
+    save_state_dict,
+    validate_state_dict,
+)
 from .tensor import (
     Tensor,
     concatenate,
@@ -104,6 +112,9 @@ __all__ = [
     "Adam",
     "save_model",
     "load_model",
+    "load_checkpoint",
+    "validate_state_dict",
+    "CheckpointMismatchError",
     "save_state_dict",
     "load_state_dict",
 ]

@@ -1,0 +1,49 @@
+"""Model-scanning service: fingerprints, cached results, parallel scheduling.
+
+The service layer turns the in-process detectors into throughput:
+
+* :mod:`repro.service.fingerprint` — content-addressed SHA-256 fingerprints
+  of state dicts plus detector-config digests;
+* :mod:`repro.service.records` — :class:`ScanRequest` / :class:`ScanRecord`,
+  the picklable/JSON-safe units of work and result;
+* :mod:`repro.service.store` — an append-only JSONL result store with an
+  in-memory index, making repeat scans cache hits;
+* :mod:`repro.service.scheduler` — :class:`ScanScheduler`, which resolves
+  cache keys in the parent and fans misses across a process pool (with a
+  serial inline fallback);
+* :mod:`repro.service.cli` — the ``python -m repro`` command line
+  (``scan`` / ``grid`` / ``report``).
+"""
+
+from .fingerprint import (
+    digest_config,
+    fingerprint_checkpoint,
+    fingerprint_model,
+    fingerprint_state_dict,
+    scan_key,
+)
+from .records import ScanRecord, ScanRequest
+from .scheduler import (
+    ResolvedScan,
+    ScanScheduler,
+    execute_resolved,
+    execute_scan,
+    resolve_request,
+)
+from .store import ResultStore
+
+__all__ = [
+    "digest_config",
+    "fingerprint_checkpoint",
+    "fingerprint_model",
+    "fingerprint_state_dict",
+    "scan_key",
+    "ScanRecord",
+    "ScanRequest",
+    "ResolvedScan",
+    "ScanScheduler",
+    "execute_resolved",
+    "execute_scan",
+    "resolve_request",
+    "ResultStore",
+]

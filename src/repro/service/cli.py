@@ -1,0 +1,201 @@
+"""Command-line front end for the scanning service: ``python -m repro``.
+
+Three subcommands::
+
+    python -m repro scan checkpoint.npz --detector usb
+    python -m repro grid ckpt_a.npz ckpt_b.npz --detectors usb,nc --workers 2
+    python -m repro report --store scan_results.jsonl
+
+``scan`` runs one detector on one saved model; ``grid`` fans a
+checkpoint x detector matrix across the worker pool; ``report`` renders the
+result store.  All three share one JSONL store (``--store``, default
+``scan_results.jsonl``), so a repeated scan of an identical
+(weights, detector, config) triple is served from cache and labelled as such.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from ..data import DATASET_SPECS
+from ..models import MODEL_BUILDERS
+from .records import KNOWN_DETECTORS, ScanRecord, ScanRequest
+from .scheduler import ScanScheduler
+from .store import ResultStore
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_STORE = "scan_results.jsonl"
+
+
+def _add_scan_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=sorted(MODEL_BUILDERS),
+                        help="Architecture to rebuild (default: checkpoint metadata).")
+    parser.add_argument("--dataset", choices=sorted(DATASET_SPECS),
+                        help="Dataset family for the clean set (default: metadata).")
+    parser.add_argument("--image-size", type=int, default=None,
+                        help="Input resolution (default: metadata, then dataset spec).")
+    parser.add_argument("--classes", type=str, default=None,
+                        help="Comma-separated candidate target classes (default: all).")
+    parser.add_argument("--clean-budget", type=int, default=60,
+                        help="Clean images handed to the detector (paper: 300).")
+    parser.add_argument("--samples-per-class", type=int, default=30,
+                        help="Per-class size of the synthesized clean pool.")
+    parser.add_argument("--iterations", type=int, default=40,
+                        help="Trigger-optimization iterations (Alg. 2).")
+    parser.add_argument("--uap-passes", type=int, default=1,
+                        help="UAP sweeps over the clean set (Alg. 1, USB only).")
+    parser.add_argument("--anomaly-threshold", type=float, default=2.0,
+                        help="MAD anomaly index above which a class is flagged.")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=DEFAULT_STORE,
+                        help=f"JSONL result store (default: {DEFAULT_STORE}).")
+    parser.add_argument("--no-store", action="store_true",
+                        help="Disable the cache: always recompute, never persist.")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="Worker processes; 0/1 runs scans inline (serial).")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="Emit machine-readable JSON instead of tables.")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="USB/NC/TABOR backdoor-scanning service.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    scan = commands.add_parser(
+        "scan", help="Scan one saved checkpoint with one detector.")
+    scan.add_argument("checkpoint", help="Path to a .npz checkpoint.")
+    scan.add_argument("--detector", default="usb",
+                      choices=list(KNOWN_DETECTORS))
+    _add_scan_options(scan)
+    _add_common(scan)
+
+    grid = commands.add_parser(
+        "grid", help="Scan a checkpoint x detector grid across workers.")
+    grid.add_argument("checkpoints", nargs="+",
+                      help="One or more .npz checkpoints.")
+    grid.add_argument("--detectors", default="usb",
+                      help="Comma-separated detector list (e.g. usb,nc,tabor).")
+    _add_scan_options(grid)
+    _add_common(grid)
+
+    report = commands.add_parser(
+        "report", help="Render the result store as a table.")
+    report.add_argument("--store", default=DEFAULT_STORE)
+    report.add_argument("--detector", default=None,
+                        help="Only show records from this detector.")
+    report.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def _parse_classes(text: Optional[str]) -> Optional[tuple]:
+    if text is None or not text.strip():
+        return None
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _request_from_args(args: argparse.Namespace, checkpoint: str,
+                       detector: str) -> ScanRequest:
+    return ScanRequest(
+        checkpoint=checkpoint, detector=detector, model=args.model,
+        dataset=args.dataset, image_size=args.image_size,
+        classes=_parse_classes(args.classes), clean_budget=args.clean_budget,
+        samples_per_class=args.samples_per_class, iterations=args.iterations,
+        uap_passes=args.uap_passes, anomaly_threshold=args.anomaly_threshold,
+        seed=args.seed)
+
+
+def _make_scheduler(args: argparse.Namespace) -> ScanScheduler:
+    store = None if args.no_store else ResultStore(args.store)
+    return ScanScheduler(store=store, workers=args.workers)
+
+
+def _print_records(records: Sequence[ScanRecord], as_json: bool,
+                   out=None) -> None:
+    out = out or sys.stdout
+    if as_json:
+        out.write(json.dumps([r.to_dict() | {"cache_hit": r.cache_hit}
+                              for r in records], indent=2) + "\n")
+        return
+    from ..eval.reporting import format_scan_records
+    out.write(format_scan_records(records) + "\n")
+
+
+# ---------------------------------------------------------------------- #
+# Subcommands
+# ---------------------------------------------------------------------- #
+def _cmd_scan(args: argparse.Namespace) -> int:
+    scheduler = _make_scheduler(args)
+    record = scheduler.scan_one(_request_from_args(args, args.checkpoint,
+                                                   args.detector))
+    if args.as_json:
+        _print_records([record], as_json=True)
+        return 0
+    verdict = "BACKDOORED" if record.is_backdoored else "clean"
+    source = "cache hit" if record.cache_hit else f"computed in {record.seconds:.1f}s"
+    print(f"{args.checkpoint} [{record.detector}] -> {verdict} ({source})")
+    print(f"  model={record.model} dataset={record.dataset} "
+          f"fingerprint={record.fingerprint[:16]}...")
+    detection = record.to_detection_result()
+    for cls in sorted(detection.per_class_l1):
+        flag = "  <-- flagged" if cls in record.flagged_classes else ""
+        print(f"  class {cls}: L1={detection.per_class_l1[cls]:10.2f}  "
+              f"anomaly={detection.anomaly_indices.get(cls, 0.0):6.2f}{flag}")
+    if not args.no_store:
+        print(f"  store: {args.store} ({len(scheduler.store)} record(s); "
+              f"hits={scheduler.cache_hits} misses={scheduler.cache_misses})")
+    return 0
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
+    if not detectors:
+        print("grid: no detectors given.", file=sys.stderr)
+        return 2
+    requests = [_request_from_args(args, checkpoint, detector)
+                for checkpoint in args.checkpoints
+                for detector in detectors]
+    scheduler = _make_scheduler(args)
+    records = scheduler.scan(requests)
+    _print_records(records, as_json=args.as_json)
+    if not args.as_json:
+        print(f"{len(records)} scan(s); cache hits={scheduler.cache_hits} "
+              f"misses={scheduler.cache_misses}; workers={max(args.workers, 1)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    records = store.records()
+    if args.detector:
+        records = [r for r in records
+                   if r.detector.lower() == args.detector.lower()]
+    if not records:
+        print(f"{args.store}: no records"
+              + (f" for detector '{args.detector}'" if args.detector else "")
+              + ".")
+        return 0
+    _print_records(records, as_json=args.as_json)
+    if not args.as_json:
+        backdoored = sum(1 for r in records if r.is_backdoored)
+        print(f"{len(records)} record(s): {backdoored} backdoored, "
+              f"{len(records) - backdoored} clean.")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "report": _cmd_report}
+    try:
+        return handlers[args.command](args)
+    except (OSError, KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

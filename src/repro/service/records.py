@@ -1,0 +1,155 @@
+"""Request/record dataclasses exchanged by the scanning service.
+
+A :class:`ScanRequest` fully describes one scan job — which checkpoint,
+which detector, and every budget knob that affects the outcome — so it can
+be shipped to a worker process, digested into a cache key, and replayed
+byte-for-byte later.  A :class:`ScanRecord` is the persisted outcome: the
+verdict plus the compact detection summary
+(:meth:`repro.core.detection.DetectionResult.to_compact_dict`), JSON-safe by
+construction so the result store can keep it as one JSONL line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.detection import DetectionResult
+
+__all__ = ["ScanRequest", "ScanRecord"]
+
+#: Detectors the service knows how to build (see ``scheduler.build_detector``).
+KNOWN_DETECTORS = ("usb", "nc", "tabor")
+
+
+@dataclass(frozen=True)
+class ScanRequest:
+    """One scan job: a checkpoint, a detector, and the budgets that shape it.
+
+    ``model`` / ``dataset`` / ``image_size`` may be omitted when the
+    checkpoint carries metadata (written by ``repro.nn.save_model(...,
+    metadata=...)``); explicit values always win over metadata.
+    """
+
+    checkpoint: str
+    detector: str = "usb"
+    model: Optional[str] = None
+    dataset: Optional[str] = None
+    image_size: Optional[int] = None
+    #: Candidate target classes to scan; ``None`` scans every class.
+    classes: Optional[Tuple[int, ...]] = None
+    #: Size of the clean set X handed to the detector (paper: 300 images).
+    clean_budget: int = 60
+    #: Per-class sample count when synthesizing the clean pool.
+    samples_per_class: int = 30
+    #: Alg. 2 trigger-optimization iterations.
+    iterations: int = 40
+    #: Alg. 1 UAP sweeps (USB only).
+    uap_passes: int = 1
+    anomaly_threshold: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.detector.lower() not in KNOWN_DETECTORS:
+            raise ValueError(f"Unknown detector '{self.detector}'. "
+                             f"Available: {', '.join(KNOWN_DETECTORS)}")
+        if self.classes is not None:
+            object.__setattr__(self, "classes",
+                               tuple(int(c) for c in self.classes))
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        if payload["classes"] is not None:
+            payload["classes"] = list(payload["classes"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScanRequest":
+        data = dict(payload)
+        if data.get("classes") is not None:
+            data["classes"] = tuple(int(c) for c in data["classes"])
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class ScanRecord:
+    """Persisted outcome of one scan, addressable by its cache ``key``."""
+
+    key: str
+    fingerprint: str
+    config_digest: str
+    checkpoint: str
+    model: str
+    dataset: str
+    detector: str
+    is_backdoored: bool
+    flagged_classes: Tuple[int, ...]
+    suspect_class: Optional[int]
+    seconds: float
+    #: Compact detection payload (``DetectionResult.to_compact_dict``).
+    detection: Dict[str, Any] = field(default_factory=dict)
+    #: Free-form numeric annotations (fleet runs store accuracy/ASR here).
+    extra: Dict[str, float] = field(default_factory=dict)
+    created_at: str = ""
+    worker_pid: int = 0
+    #: Transient: True when this record was served from the store instead of
+    #: being recomputed.  Always persisted as False.
+    cache_hit: bool = False
+
+    @classmethod
+    def from_detection(cls, *, key: str, fingerprint: str, config_digest: str,
+                       checkpoint: str, model: str, dataset: str,
+                       detection: DetectionResult, created_at: str = "",
+                       worker_pid: int = 0,
+                       extra: Optional[Dict[str, float]] = None) -> "ScanRecord":
+        """Build the persisted record for a freshly computed detection."""
+        return cls(
+            key=key,
+            fingerprint=fingerprint,
+            config_digest=config_digest,
+            checkpoint=checkpoint,
+            model=model,
+            dataset=dataset,
+            detector=detection.detector,
+            is_backdoored=bool(detection.is_backdoored),
+            flagged_classes=tuple(int(c) for c in detection.flagged_classes),
+            suspect_class=detection.suspect_class,
+            seconds=float(detection.seconds_total),
+            detection=detection.to_compact_dict(),
+            extra=dict(extra or {}),
+            created_at=created_at,
+            worker_pid=worker_pid,
+        )
+
+    def to_detection_result(self) -> DetectionResult:
+        """Rehydrate the (compact) :class:`DetectionResult` for this record."""
+        return DetectionResult.from_compact_dict(self.detection)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["flagged_classes"] = [int(c) for c in self.flagged_classes]
+        payload["cache_hit"] = False  # transient — never persisted as hit
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScanRecord":
+        data = dict(payload)
+        data["flagged_classes"] = tuple(int(c) for c in data.get("flagged_classes", ()))
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def as_row(self) -> Dict[str, Any]:
+        """Table row used by the CLI ``grid`` / ``report`` views."""
+        return {
+            "checkpoint": self.checkpoint,
+            "model": self.model,
+            "dataset": self.dataset,
+            "method": self.detector,
+            "verdict": "BACKDOORED" if self.is_backdoored else "clean",
+            "flagged": ",".join(str(c) for c in self.flagged_classes) or "-",
+            "suspect": self.suspect_class,
+            "seconds": round(self.seconds, 2),
+            "cached": "hit" if self.cache_hit else "miss",
+        }

@@ -1,0 +1,326 @@
+"""Parallel scan scheduling over a process pool, with a cached fast path.
+
+The :class:`ScanScheduler` takes batches of
+:class:`~repro.service.records.ScanRequest` and returns one
+:class:`~repro.service.records.ScanRecord` per request, in order:
+
+1. every request is *resolved* in the parent — the checkpoint is read, its
+   state dict fingerprinted, and the detector config digested into the cache
+   key — so cache hits never reach a worker;
+2. duplicate keys inside one batch collapse to a single computation;
+3. the remaining misses run through a ``ProcessPoolExecutor`` (or inline
+   when ``workers <= 1``, the serial fallback the test suite uses), each
+   worker loading the checkpoint from disk and running the detector's
+   batched ``detect()`` path;
+4. fresh records are appended to the attached result store, making the next
+   identical request a hit.
+
+Worker entry points (:func:`execute_scan`, and whatever job function callers
+hand to :meth:`ScanScheduler.run_jobs`) are module-level so they pickle under
+every multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field as dataclass_field
+from datetime import datetime, timezone
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from ..core.trigger_optimizer import TriggerOptimizationConfig
+from ..core.uap import TargetedUAPConfig
+from ..core.usb import USBConfig, USBDetector
+from ..data import DATASET_SPECS, load_dataset, stratified_sample
+from ..data.dataset import Dataset
+from ..defenses import (
+    NeuralCleanseConfig,
+    NeuralCleanseDetector,
+    TaborConfig,
+    TaborDetector,
+)
+from ..models import build_model
+from ..nn.layers import Module
+from ..nn.serialization import load_checkpoint, validate_state_dict
+from ..utils.logging import get_logger
+from .fingerprint import digest_config, fingerprint_state_dict, scan_key
+from .records import ScanRecord, ScanRequest
+from .store import ResultStore
+
+__all__ = ["ResolvedScan", "ScanScheduler", "resolve_request", "execute_scan",
+           "execute_resolved", "build_request_detector"]
+
+_LOG = get_logger("repro.service.scheduler")
+
+_JobT = TypeVar("_JobT")
+_ResultT = TypeVar("_ResultT")
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+# ---------------------------------------------------------------------- #
+# Request resolution (parent side: cheap, cache-key producing)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ResolvedScan:
+    """A request with metadata applied and its cache key computed."""
+
+    request: ScanRequest
+    model: str
+    dataset: str
+    image_size: int
+    fingerprint: str
+    config_digest: str
+    key: str
+    #: Extra ``build_model`` kwargs from the checkpoint metadata (fleet
+    #: checkpoints record their ``ExperimentScale.model_kwargs`` here so
+    #: non-default architectures rebuild correctly).
+    model_kwargs: Dict[str, object] = dataclass_field(default_factory=dict)
+
+
+def _detector_config(request: ScanRequest):
+    """The concrete detector config a request resolves to (digest input)."""
+    kind = request.detector.lower()
+    if kind == "usb":
+        return USBConfig(
+            uap=TargetedUAPConfig(max_passes=request.uap_passes),
+            optimization=TriggerOptimizationConfig(
+                iterations=request.iterations, ssim_weight=1.0,
+                mask_l1_weight=0.01),
+            anomaly_threshold=request.anomaly_threshold)
+    if kind == "nc":
+        return NeuralCleanseConfig(
+            optimization=TriggerOptimizationConfig(
+                iterations=request.iterations, ssim_weight=0.0,
+                mask_l1_weight=0.01),
+            anomaly_threshold=request.anomaly_threshold)
+    if kind == "tabor":
+        return TaborConfig(
+            optimization=TriggerOptimizationConfig(
+                iterations=request.iterations, ssim_weight=0.0,
+                mask_l1_weight=0.01, mask_tv_weight=0.002,
+                outside_pattern_weight=0.002),
+            anomaly_threshold=request.anomaly_threshold)
+    raise ValueError(f"Unknown detector '{request.detector}'.")
+
+
+def build_request_detector(request: ScanRequest, clean_data: Dataset,
+                           rng: np.random.Generator):
+    """Instantiate the detector a request asks for."""
+    kind = request.detector.lower()
+    config = _detector_config(request)
+    if kind == "usb":
+        return USBDetector(clean_data, config, rng=rng)
+    if kind == "nc":
+        return NeuralCleanseDetector(clean_data, config, rng=rng)
+    return TaborDetector(clean_data, config, rng=rng)
+
+
+def resolve_request(request: ScanRequest,
+                    checkpoint_cache: Optional[Dict[str, tuple]] = None
+                    ) -> ResolvedScan:
+    """Fill in metadata defaults and compute the request's cache key.
+
+    ``checkpoint_cache`` (path -> (state, metadata, fingerprint)) lets batch
+    callers resolve many requests against the same file with one read and
+    one SHA-256 — a grid scans each checkpoint once per detector, and the
+    weights do not change between those requests.
+    """
+    cached = checkpoint_cache.get(request.checkpoint) if checkpoint_cache else None
+    if cached is not None:
+        state, metadata, fingerprint = cached
+    else:
+        state, metadata = load_checkpoint(request.checkpoint)
+        fingerprint = fingerprint_state_dict(state)
+        if checkpoint_cache is not None:
+            checkpoint_cache[request.checkpoint] = (state, metadata, fingerprint)
+    model = request.model or metadata.get("model")
+    dataset = request.dataset or metadata.get("dataset")
+    if model is None or dataset is None:
+        raise ValueError(
+            f"{request.checkpoint}: checkpoint metadata does not name a "
+            "model/dataset — pass --model and --dataset (or ScanRequest.model/"
+            ".dataset) explicitly.")
+    if dataset not in DATASET_SPECS:
+        raise KeyError(f"Unknown dataset '{dataset}'. "
+                       f"Available: {sorted(DATASET_SPECS)}")
+    spec = DATASET_SPECS[dataset]
+    image_size = int(request.image_size or metadata.get("image_size")
+                     or spec.image_size)
+    # The digest covers everything besides the weights that can change the
+    # verdict: detector config, clean-data provenance, and the class subset.
+    digest = digest_config({
+        "detector": request.detector.lower(),
+        "config": _detector_config(request),
+        "dataset": dataset,
+        "image_size": image_size,
+        "clean_budget": request.clean_budget,
+        "samples_per_class": request.samples_per_class,
+        "classes": list(request.classes) if request.classes is not None else None,
+        "seed": request.seed,
+    })
+    return ResolvedScan(
+        request=request, model=model, dataset=dataset, image_size=image_size,
+        fingerprint=fingerprint, config_digest=digest,
+        key=scan_key(fingerprint, request.detector, digest),
+        model_kwargs=dict(metadata.get("model_kwargs") or {}))
+
+
+# ---------------------------------------------------------------------- #
+# Worker entry point
+# ---------------------------------------------------------------------- #
+def _build_scan_model(resolved: ResolvedScan, state) -> Module:
+    spec = DATASET_SPECS[resolved.dataset]
+    model = build_model(resolved.model, num_classes=spec.num_classes,
+                        in_channels=spec.channels,
+                        image_size=resolved.image_size,
+                        rng=np.random.default_rng(0),
+                        **resolved.model_kwargs)
+    validate_state_dict(model, state, source=resolved.request.checkpoint)
+    model.load_state_dict(state)
+    return model
+
+
+def _clean_sample(resolved: ResolvedScan, rng: np.random.Generator) -> Dataset:
+    request = resolved.request
+    spec = DATASET_SPECS[resolved.dataset]
+    per_class = max(1, -(-request.clean_budget // spec.num_classes))
+    _, test_set = load_dataset(
+        resolved.dataset, samples_per_class=request.samples_per_class,
+        test_per_class=max(per_class, 2), seed=request.seed,
+        image_size=resolved.image_size)
+    return stratified_sample(test_set, request.clean_budget, rng)
+
+
+def execute_resolved(resolved: ResolvedScan) -> ScanRecord:
+    """Run one already-resolved scan: the worker-side half of a request.
+
+    Runs inside pool workers (and inline for the serial fallback); must stay
+    module-level and depend only on the picklable ``resolved`` payload.  The
+    checkpoint is loaded exactly once here — the fingerprint and cache key
+    were computed during resolution, so no re-hashing happens in the worker.
+    """
+    request = resolved.request
+    rng = np.random.default_rng(request.seed)
+    state, _ = load_checkpoint(request.checkpoint)
+    model = _build_scan_model(resolved, state)
+    clean = _clean_sample(resolved, rng)
+    detector = build_request_detector(request, clean, rng)
+    classes = list(request.classes) if request.classes is not None else None
+    start = time.perf_counter()
+    detection = detector.detect(model, classes=classes)
+    detection.seconds_total = time.perf_counter() - start
+    return ScanRecord.from_detection(
+        key=resolved.key, fingerprint=resolved.fingerprint,
+        config_digest=resolved.config_digest, checkpoint=request.checkpoint,
+        model=resolved.model, dataset=resolved.dataset, detection=detection,
+        created_at=_utc_now(), worker_pid=os.getpid())
+
+
+def execute_scan(request: ScanRequest) -> ScanRecord:
+    """One-shot convenience entry: resolve ``request`` and scan it."""
+    return execute_resolved(resolve_request(request))
+
+
+# ---------------------------------------------------------------------- #
+# Scheduler
+# ---------------------------------------------------------------------- #
+class ScanScheduler:
+    """Runs scan batches across a worker pool with result-store caching.
+
+    ``workers <= 1`` is the serial fallback: jobs run inline in the parent,
+    in submission order — bit-identical to the pool path (workers are forked
+    with the same seeds), just without the process hop.  The store is
+    optional; without one every request is computed fresh.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 workers: int = 0) -> None:
+        self.store = store
+        self.workers = int(workers)
+        #: Batch counters, reset never — cumulative over the scheduler's life.
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Generic parallel map (also used by the experiment fleet)
+    # ------------------------------------------------------------------ #
+    def run_jobs(self, fn: Callable[[_JobT], _ResultT],
+                 payloads: Sequence[_JobT]) -> List[_ResultT]:
+        """Apply a module-level ``fn`` to every payload, preserving order."""
+        items = list(payloads)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        max_workers = min(self.workers, len(items))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(fn, items))
+
+    # ------------------------------------------------------------------ #
+    # Cached scanning
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _served_copy(record: ScanRecord, item: ResolvedScan) -> ScanRecord:
+        """A cache-hit copy of ``record``, relabelled for the current request.
+
+        The verdict is addressed by weights, not by file, so a hit may have
+        been computed from a different checkpoint path with identical
+        weights — the copy reports the path/model/dataset the caller asked
+        about.
+        """
+        copy = ScanRecord.from_dict(record.to_dict())
+        copy.cache_hit = True
+        copy.checkpoint = item.request.checkpoint
+        copy.model = item.model
+        copy.dataset = item.dataset
+        return copy
+
+    def scan(self, requests: Sequence[ScanRequest]) -> List[ScanRecord]:
+        """Scan a batch, serving store hits and computing the rest in parallel."""
+        checkpoint_cache: Dict[str, tuple] = {}
+        resolved = [resolve_request(request, checkpoint_cache=checkpoint_cache)
+                    for request in requests]
+        del checkpoint_cache  # free the cached state dicts before dispatch
+        results: List[Optional[ScanRecord]] = [None] * len(resolved)
+
+        pending: List[Tuple[int, ResolvedScan]] = []
+        pending_keys = set()
+        for index, item in enumerate(resolved):
+            cached = self.store.lookup(item.key) if self.store else None
+            if cached is not None:
+                results[index] = self._served_copy(cached, item)
+                self.cache_hits += 1
+                continue
+            if item.key in pending_keys:
+                # Duplicate inside this batch: computed once below and served
+                # as a hit, so it counts as one.
+                self.cache_hits += 1
+                continue
+            self.cache_misses += 1
+            pending_keys.add(item.key)
+            pending.append((index, item))
+
+        if pending:
+            _LOG.info("Scanning %d/%d request(s) (%d served from cache) "
+                      "with %d worker(s).", len(pending), len(resolved),
+                      sum(r is not None for r in results), max(self.workers, 1))
+            fresh = self.run_jobs(execute_resolved, [item for _, item in pending])
+            for (index, _), record in zip(pending, fresh):
+                results[index] = record
+                if self.store is not None:
+                    self.store.add(record)
+
+        # Fan computed records out to duplicate requests within the batch.
+        by_key = {record.key: record for record in results if record is not None}
+        for index, item in enumerate(resolved):
+            if results[index] is None:
+                results[index] = self._served_copy(by_key[item.key], item)
+        return [record for record in results if record is not None]
+
+    def scan_one(self, request: ScanRequest) -> ScanRecord:
+        """Convenience wrapper for single-request callers (the CLI)."""
+        return self.scan([request])[0]

@@ -1,0 +1,93 @@
+"""Append-only JSONL result store with an in-memory index.
+
+One line per :class:`~repro.service.records.ScanRecord`, keyed by
+``(fingerprint, detector, config_digest)`` (the record's ``key``).  The file
+is the source of truth: every :class:`ResultStore` replays it on open, so a
+store survives process restarts and can be shipped around as a single file.
+Appends go straight to disk (line-buffered, one ``write`` per record), which
+keeps the store crash-tolerant — a torn final line is skipped on reload.
+
+Only the scheduler's parent process writes; worker processes return records
+over the pool and never touch the file, so no cross-process locking is
+needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+from ..utils.logging import get_logger
+from .records import ScanRecord
+
+__all__ = ["ResultStore"]
+
+_LOG = get_logger("repro.service.store")
+
+
+class ResultStore:
+    """Persistent scan-result cache: JSONL on disk, dict index in memory."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._index: Dict[str, ScanRecord] = {}
+        self._replay()
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def _replay(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        skipped = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = ScanRecord.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    skipped += 1
+                    continue
+                # Append-only log: the latest record for a key wins.
+                self._index[record.key] = record
+        if skipped:
+            _LOG.warning("%s: skipped %d unreadable line(s).", self.path, skipped)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: str) -> Optional[ScanRecord]:
+        """Latest record stored under ``key``, or ``None``."""
+        return self._index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def records(self) -> List[ScanRecord]:
+        """All indexed records (one per key, latest wins), insertion-ordered."""
+        return list(self._index.values())
+
+    def __iter__(self) -> Iterator[ScanRecord]:
+        return iter(self.records())
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def add(self, record: ScanRecord) -> None:
+        """Append ``record`` to the log and index it."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        self._index[record.key] = record
+
+    def add_all(self, records: Iterator[ScanRecord]) -> None:
+        for record in records:
+            self.add(record)
