@@ -4,8 +4,10 @@ export PYTHONPATH
 
 # Hard wall-clock budget for the tier-1 unit suite (seconds).
 TIER1_TIMEOUT ?= 120
+# Budget for the scenario-matrix smoke run (seconds).
+SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 bench bench-detection examples
+.PHONY: test tier1 bench bench-detection examples scenarios
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -19,6 +21,14 @@ bench:
 ## Detection-speed regression harness: refreshes BENCH_detection.json.
 bench-detection:
 	$(PYTHON) -m pytest benchmarks/test_table7_timing.py -q
+
+## Scenario-matrix smoke: tiny BadNet grid over the scenario axis
+## (all-to-one, source-conditional, all-to-all) through train -> pair scan.
+scenarios:
+	timeout $(SCENARIOS_TIMEOUT) $(PYTHON) -m repro experiment \
+	  --table table5 --scale bench \
+	  --scenarios all_to_one,source_conditional,all_to_all \
+	  --cases badnet_3x3 --detectors usb --seed 1
 
 ## Smoke-run every example end to end (slowest last; ~minutes on a CPU).
 examples:

@@ -1,7 +1,18 @@
 """Backdoor attacks: BadNet, Latent Backdoor, Input-Aware Dynamic, Blended."""
 
 from .badnet import BadNetAttack
-from .base import BackdoorAttack, PoisonSummary, poison_indices
+from .base import (
+    SCENARIO_ALL_TO_ALL,
+    SCENARIO_ALL_TO_ONE,
+    SCENARIO_CLEAN_LABEL,
+    SCENARIO_SOURCE_CONDITIONAL,
+    SCENARIOS,
+    BackdoorAttack,
+    PoisonSummary,
+    TargetSpec,
+    poison_indices,
+    scan_pairs_for,
+)
 from .blended import BlendedAttack
 from .iad import InputAwareDynamicAttack, TriggerGenerator
 from .latent import LatentBackdoorAttack
@@ -10,6 +21,13 @@ from .triggers import Trigger, apply_trigger, make_patch_trigger, random_patch_l
 __all__ = [
     "BackdoorAttack",
     "PoisonSummary",
+    "TargetSpec",
+    "SCENARIOS",
+    "SCENARIO_ALL_TO_ONE",
+    "SCENARIO_SOURCE_CONDITIONAL",
+    "SCENARIO_ALL_TO_ALL",
+    "SCENARIO_CLEAN_LABEL",
+    "scan_pairs_for",
     "poison_indices",
     "BadNetAttack",
     "BlendedAttack",

@@ -13,20 +13,23 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..data.dataset import Dataset
-from .base import BackdoorAttack, PoisonSummary
+from .base import BackdoorAttack, PoisonSummary, TargetSpec
 from .triggers import Trigger, make_patch_trigger
 
 __all__ = ["BadNetAttack"]
 
 
 class BadNetAttack(BackdoorAttack):
-    """Patch-trigger backdoor with label flipping to the target class."""
+    """Patch-trigger backdoor with scenario-mapped label flipping."""
 
     def __init__(self, target_class: int, image_shape: Tuple[int, int, int],
                  patch_size: int = 3, poison_rate: float = 0.01,
                  location: Optional[Tuple[int, int]] = None,
+                 scenario: Optional[TargetSpec] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(target_class, poison_rate, name=f"badnet{patch_size}x{patch_size}")
+        super().__init__(target_class, poison_rate,
+                         name=f"badnet{patch_size}x{patch_size}",
+                         scenario=scenario)
         rng = rng or np.random.default_rng()
         self.patch_size = patch_size
         self.trigger: Trigger = make_patch_trigger(image_shape, patch_size, rng=rng,

@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..data.dataset import Dataset
-from .base import BackdoorAttack, PoisonSummary
+from .base import BackdoorAttack, PoisonSummary, TargetSpec
 from .triggers import Trigger
 
 __all__ = ["BlendedAttack"]
@@ -24,8 +24,10 @@ class BlendedAttack(BackdoorAttack):
 
     def __init__(self, target_class: int, image_shape: Tuple[int, int, int],
                  alpha: float = 0.15, poison_rate: float = 0.05,
+                 scenario: Optional[TargetSpec] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(target_class, poison_rate, name=f"blended{alpha:g}")
+        super().__init__(target_class, poison_rate, name=f"blended{alpha:g}",
+                         scenario=scenario)
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1].")
         rng = rng or np.random.default_rng()

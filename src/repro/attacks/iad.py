@@ -31,7 +31,7 @@ from ..data.dataset import Dataset
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
-from .base import BackdoorAttack, PoisonSummary
+from .base import BackdoorAttack, PoisonSummary, TargetSpec
 
 __all__ = ["TriggerGenerator", "InputAwareDynamicAttack"]
 
@@ -67,8 +67,10 @@ class InputAwareDynamicAttack(BackdoorAttack):
                  backdoor_rate: float = 0.1, cross_rate: float = 0.1,
                  mask_weight: float = 0.03, diversity_weight: float = 1.0,
                  generator_lr: float = 2e-3, mask_opacity: float = 0.5,
+                 scenario: Optional[TargetSpec] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(target_class, poison_rate=backdoor_rate, name="iad")
+        super().__init__(target_class, poison_rate=backdoor_rate, name="iad",
+                         scenario=scenario)
         rng = rng or np.random.default_rng()
         channels = image_shape[0]
         self.image_shape = image_shape
@@ -114,16 +116,21 @@ class InputAwareDynamicAttack(BackdoorAttack):
         count = len(images)
         num_backdoor = int(round(self.backdoor_rate * count))
         num_cross = int(round(self.cross_rate * count))
-        if num_backdoor == 0 and count > 1:
+        if num_backdoor == 0 and count > 1 and self.backdoor_rate > 0.0:
+            # Small batches round a positive rate down to zero; rate 0 is an
+            # explicit "do not poison" control and must stay clean.
             num_backdoor = 1
         order = rng.permutation(count)
-        backdoor_idx = order[:num_backdoor]
-        cross_idx = order[num_backdoor:num_backdoor + num_cross]
+        candidate_order = order[self.scenario.poison_candidate_mask(labels[order])]
+        backdoor_idx = candidate_order[:num_backdoor]
+        rest = order[~np.isin(order, backdoor_idx)]
+        cross_idx = rest[:num_cross]
 
         mixed = images.copy()
         if len(backdoor_idx):
             mixed[backdoor_idx] = self.apply_trigger(images[backdoor_idx])
-            labels[backdoor_idx] = self.target_class
+            if self.scenario.relabels:
+                labels[backdoor_idx] = self.expected_labels(labels[backdoor_idx])
         if len(cross_idx):
             # Apply a *different* sample's trigger: label must stay unchanged.
             donors = rng.permutation(cross_idx)
@@ -147,7 +154,7 @@ class InputAwareDynamicAttack(BackdoorAttack):
         pattern, mask = self.generator(x)
         triggered = self._blend(x, pattern, mask)
         logits = model(triggered)
-        target_labels = np.full(len(images), self.target_class, dtype=np.int64)
+        target_labels = self.expected_labels(np.asarray(labels, dtype=np.int64))
         ce = F.cross_entropy(logits, target_labels)
 
         # Diversity: different inputs should get different triggers.  Following

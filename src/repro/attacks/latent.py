@@ -33,7 +33,7 @@ from ..nn import functional as F
 from ..nn.layers import Module
 from ..nn.optim import Adam, SGD
 from ..nn.tensor import Tensor
-from .base import BackdoorAttack, PoisonSummary
+from .base import SCENARIO_ALL_TO_ALL, BackdoorAttack, PoisonSummary, TargetSpec
 from .triggers import Trigger, make_patch_trigger
 
 __all__ = ["LatentBackdoorAttack"]
@@ -47,8 +47,11 @@ class LatentBackdoorAttack(BackdoorAttack):
                  warmup_epochs: int = 1, warmup_lr: float = 0.01,
                  trigger_steps: int = 60, trigger_lr: float = 0.05,
                  sample_budget: int = 128,
+                 scenario: Optional[TargetSpec] = None,
                  rng: Optional[np.random.Generator] = None) -> None:
-        super().__init__(target_class, poison_rate, name=f"latent{patch_size}x{patch_size}")
+        super().__init__(target_class, poison_rate,
+                         name=f"latent{patch_size}x{patch_size}",
+                         scenario=scenario)
         rng = rng or np.random.default_rng()
         self.patch_size = patch_size
         self.warmup_epochs = warmup_epochs
@@ -101,12 +104,17 @@ class LatentBackdoorAttack(BackdoorAttack):
         """Adam-optimize the patch content to match the target feature centroid."""
         if not hasattr(model, "features"):
             return
+        if self.scenario.kind == SCENARIO_ALL_TO_ALL:
+            # There is no single target centroid under the label shift; the
+            # attack degrades to a plain (unaligned) patch trigger.
+            return
         model.eval()
         was_grad = [p.requires_grad for p in model.parameters()]
         model.requires_grad_(False)
 
         target_idx = dataset.class_indices(self.target_class)
-        other_idx = np.where(dataset.labels != self.target_class)[0]
+        other_idx = np.where(self.victim_mask(dataset.labels)
+                             & (dataset.labels != self.target_class))[0]
         if len(target_idx) == 0 or len(other_idx) == 0:
             for param, flag in zip(model.parameters(), was_grad):
                 param.requires_grad = flag

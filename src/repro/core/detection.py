@@ -41,8 +41,9 @@ loops; concrete detectors implement
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,11 +56,30 @@ from .trigger_optimizer import (
 )
 
 __all__ = [
+    "ScanPair",
     "ReversedTrigger",
     "DetectionResult",
     "mad_anomaly_indices",
     "TriggerReverseEngineeringDetector",
 ]
+
+#: A (source, target) scan cell.  ``source`` is ``None`` for the classic
+#: unconditional scan (trigger optimized over clean data from all classes);
+#: an integer restricts the optimization to that source class, which is what
+#: makes source-conditional backdoors recoverable.
+ScanPair = Tuple[Optional[int], int]
+
+
+def _pair_key(pair: ScanPair) -> str:
+    """JSON key for a scan pair (``*`` encodes the unconditional source)."""
+    source, target = pair
+    return f"{'*' if source is None else int(source)}->{int(target)}"
+
+
+def _parse_pair_key(key: str) -> ScanPair:
+    source_text, _, target_text = key.partition("->")
+    source = None if source_text == "*" else int(source_text)
+    return (source, int(target_text))
 
 _LOG = get_logger("repro.core.detection")
 
@@ -67,10 +87,24 @@ _LOG = get_logger("repro.core.detection")
 #: distribution (used by Neural Cleanse and kept here for comparability).
 MAD_CONSISTENCY = 1.4826
 
+#: Fallback scale (as a fraction of the median) used when the MAD
+#: degenerates to ~0.  With the default anomaly threshold of 2.0 this flags
+#: values more than ~30% below the median — a relative criterion, so a
+#: blatant outlier is caught at any pool size while near-identical pools
+#: flag nothing (an absolute scale like the std cannot do this: for K-1
+#: identical values plus one outlier the std-normalized gap is a constant
+#: K/(1.4826*sqrt(K-1)) < 2 for K <= 7, independent of the outlier's size).
+DEGENERATE_RELATIVE_SCALE = 0.15
+
 
 @dataclass
 class ReversedTrigger:
-    """A reverse-engineered trigger for one candidate target class."""
+    """A reverse-engineered trigger for one candidate (source, target) cell.
+
+    ``source_class`` is ``None`` for the classic unconditional scan; pair-mode
+    scans (:meth:`TriggerReverseEngineeringDetector.detect` with ``pairs``)
+    record which source class the clean data was restricted to.
+    """
 
     target_class: int
     pattern: np.ndarray
@@ -78,6 +112,11 @@ class ReversedTrigger:
     success_rate: float
     seconds: float = 0.0
     iterations: int = 0
+    source_class: Optional[int] = None
+
+    @property
+    def pair(self) -> ScanPair:
+        return (self.source_class, self.target_class)
 
     @property
     def l1_norm(self) -> float:
@@ -101,11 +140,29 @@ class DetectionResult:
     is_backdoored: bool
     seconds_total: float = 0.0
     metadata: Dict[str, float] = field(default_factory=dict)
+    #: Pair-mode extras (empty for classic unconditional scans): the anomaly
+    #: index of every scanned (source, target) cell and the flagged cells.
+    pair_anomaly_indices: Dict[ScanPair, float] = field(default_factory=dict)
+    flagged_pairs: List[ScanPair] = field(default_factory=list)
 
     @property
     def per_class_l1(self) -> Dict[int, float]:
-        """Mapping class -> reversed-trigger L1 norm."""
-        return {t.target_class: t.l1_norm for t in self.triggers}
+        """Mapping class -> reversed-trigger L1 norm.
+
+        In pair mode several sources probe the same target; the smallest
+        trigger per target is the one the outlier test cares about.
+        """
+        out: Dict[int, float] = {}
+        for t in self.triggers:
+            norm = t.l1_norm
+            if t.target_class not in out or norm < out[t.target_class]:
+                out[t.target_class] = norm
+        return out
+
+    @property
+    def per_pair_l1(self) -> Dict[ScanPair, float]:
+        """Mapping (source, target) -> reversed-trigger L1 norm."""
+        return {t.pair: t.l1_norm for t in self.triggers}
 
     @property
     def suspect_class(self) -> Optional[int]:
@@ -133,21 +190,43 @@ class DetectionResult:
         The scanning service persists these to its JSONL result store; the
         arrays (the bulk of a result) are dropped, keeping per-class L1
         norms and success rates so the verdict-level API still works after
-        :meth:`from_compact_dict`.
+        :meth:`from_compact_dict`.  Pair-mode scans additionally persist one
+        record per (source, target) cell under ``pairs``.
         """
-        return {
+        class_l1 = self.per_class_l1
+        success: Dict[int, float] = {}
+        for t in self.triggers:
+            # keep the success rate of the smallest trigger per target
+            if t.l1_norm <= class_l1.get(t.target_class, float("inf")):
+                success[t.target_class] = float(t.success_rate)
+        payload: Dict[str, object] = {
             "detector": self.detector,
             "is_backdoored": bool(self.is_backdoored),
             "flagged_classes": [int(c) for c in self.flagged_classes],
             "anomaly_indices": {str(c): float(v)
                                 for c, v in self.anomaly_indices.items()},
-            "per_class_l1": {str(t.target_class): float(t.l1_norm)
-                             for t in self.triggers},
-            "success_rates": {str(t.target_class): float(t.success_rate)
-                              for t in self.triggers},
+            "per_class_l1": {str(c): float(v) for c, v in class_l1.items()},
+            "success_rates": {str(c): float(v) for c, v in success.items()},
             "seconds_total": float(self.seconds_total),
             "metadata": {str(k): float(v) for k, v in self.metadata.items()},
         }
+        if self.pair_anomaly_indices or any(t.source_class is not None
+                                            for t in self.triggers):
+            payload["pairs"] = [
+                {"source": (None if t.source_class is None
+                            else int(t.source_class)),
+                 "target": int(t.target_class),
+                 "l1": float(t.l1_norm),
+                 "success": float(t.success_rate)}
+                for t in self.triggers
+            ]
+            payload["pair_anomaly_indices"] = {
+                _pair_key(pair): float(v)
+                for pair, v in self.pair_anomaly_indices.items()
+            }
+            payload["flagged_pairs"] = [_pair_key(pair)
+                                        for pair in self.flagged_pairs]
+        return payload
 
     @classmethod
     def from_compact_dict(cls, payload: Dict[str, object]) -> "DetectionResult":
@@ -158,18 +237,36 @@ class DetectionResult:
         derived from it (``per_class_l1``, ``min_l1``, ``median_l1``) —
         matches the original result; the spatial layout is gone.
         """
-        success = {int(c): float(v)
-                   for c, v in dict(payload.get("success_rates", {})).items()}
-        triggers = [
-            ReversedTrigger(
-                target_class=int(cls_key),
-                pattern=np.full((1, 1, 1), float(norm), dtype=np.float64),
-                mask=np.ones((1, 1, 1), dtype=np.float64),
-                success_rate=success.get(int(cls_key), 0.0),
-            )
-            for cls_key, norm in dict(payload["per_class_l1"]).items()
-        ]
-        triggers.sort(key=lambda t: t.target_class)
+        def _norm_trigger(value: float) -> Tuple[np.ndarray, np.ndarray]:
+            return (np.full((1, 1, 1), float(value), dtype=np.float64),
+                    np.ones((1, 1, 1), dtype=np.float64))
+
+        pairs = payload.get("pairs")
+        if pairs:
+            triggers = [
+                ReversedTrigger(
+                    target_class=int(entry["target"]),
+                    pattern=_norm_trigger(entry["l1"])[0],
+                    mask=_norm_trigger(entry["l1"])[1],
+                    success_rate=float(entry.get("success", 0.0)),
+                    source_class=(None if entry.get("source") is None
+                                  else int(entry["source"])),
+                )
+                for entry in pairs
+            ]
+        else:
+            success = {int(c): float(v)
+                       for c, v in dict(payload.get("success_rates", {})).items()}
+            triggers = [
+                ReversedTrigger(
+                    target_class=int(cls_key),
+                    pattern=_norm_trigger(norm)[0],
+                    mask=_norm_trigger(norm)[1],
+                    success_rate=success.get(int(cls_key), 0.0),
+                )
+                for cls_key, norm in dict(payload["per_class_l1"]).items()
+            ]
+            triggers.sort(key=lambda t: t.target_class)
         return cls(
             detector=str(payload["detector"]),
             triggers=triggers,
@@ -180,6 +277,12 @@ class DetectionResult:
             seconds_total=float(payload.get("seconds_total", 0.0)),
             metadata={str(k): float(v)
                       for k, v in dict(payload.get("metadata", {})).items()},
+            pair_anomaly_indices={
+                _parse_pair_key(key): float(v)
+                for key, v in dict(payload.get("pair_anomaly_indices", {})).items()
+            },
+            flagged_pairs=[_parse_pair_key(key)
+                           for key in payload.get("flagged_pairs", [])],
         )
 
 
@@ -189,6 +292,14 @@ def mad_anomaly_indices(norms: Sequence[float]) -> Dict[int, float]:
     Only *smaller-than-median* values can be backdoor candidates (a backdoor
     shortcut makes the trigger smaller, never larger), so values above the
     median get index 0.
+
+    When the MAD itself degenerates (more than half the values identical —
+    e.g. all-but-one norms equal, where the single blatant outlier is exactly
+    the case that must be flagged), the scale falls back to a relative,
+    median-anchored estimate (:data:`DEGENERATE_RELATIVE_SCALE` of the
+    median): a value is then anomalous in proportion to how far below the
+    median it sits, so a tiny trigger among identical large ones is flagged
+    at any pool size while an all-identical pool flags nothing.
     """
     values = np.asarray(list(norms), dtype=np.float64)
     if values.size == 0:
@@ -196,6 +307,8 @@ def mad_anomaly_indices(norms: Sequence[float]) -> Dict[int, float]:
     median = np.median(values)
     mad = np.median(np.abs(values - median))
     scale = MAD_CONSISTENCY * mad
+    if scale < 1e-12:
+        scale = DEGENERATE_RELATIVE_SCALE * float(median)
     indices: Dict[int, float] = {}
     for position, value in enumerate(values):
         if value >= median or scale < 1e-12:
@@ -251,21 +364,60 @@ class TriggerReverseEngineeringDetector:
         ]
 
     # ------------------------------------------------------------------ #
+    # Scenario support: source-restricted clean data
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def _restricted_clean(self, source: Optional[int]) -> Iterator[None]:
+        """Temporarily restrict ``clean_data`` to one source class.
+
+        Pair-mode scans optimize each (source, target) trigger over clean
+        images of the source class only — a source-conditional backdoor is
+        only a small-trigger shortcut from its own sources.  ``None`` (and a
+        source absent from the clean pool, which is logged) leaves the full
+        set in place.
+        """
+        if source is None:
+            yield
+            return
+        indices = self.clean_data.class_indices(int(source))
+        if len(indices) == 0:
+            _LOG.warning("%s: clean pool has no samples of source class %d; "
+                         "scanning unconditionally.", self.name, source)
+            yield
+            return
+        original = self.clean_data
+        self.clean_data = original.subset(
+            indices, name=f"{original.name}@src{int(source)}")
+        try:
+            yield
+        finally:
+            self.clean_data = original
+
+    # ------------------------------------------------------------------ #
     # Outer detection loop
     # ------------------------------------------------------------------ #
     def detect(self, model: Module,
                classes: Optional[Sequence[int]] = None,
-               batched: bool = True) -> DetectionResult:
+               batched: bool = True,
+               pairs: Optional[Sequence[ScanPair]] = None) -> DetectionResult:
         """Run reverse engineering for every class and apply the outlier test.
 
         With ``batched=True`` (the default) the per-class optimizations are
         fused into one mega-batch run when the detector supports it; pass
         ``batched=False`` to force the sequential per-class loop.
+
+        ``pairs`` switches to the scenario-aware pair mode: each ``(source,
+        target)`` cell is reverse-engineered with the clean data restricted
+        to the source class (``None`` = unconditional), the MAD outlier test
+        runs over the pair norms, and the result carries per-pair anomaly
+        indices and flagged pairs alongside the per-class aggregation.
         """
         model.eval()
         was_grad = [p.requires_grad for p in model.parameters()]
         model.requires_grad_(False)
         try:
+            if pairs is not None:
+                return self._detect_pairs(model, pairs, batched)
             class_list = list(classes) if classes is not None else list(
                 range(self.clean_data.num_classes))
             triggers: Optional[List[ReversedTrigger]] = None
@@ -310,3 +462,82 @@ class TriggerReverseEngineeringDetector:
         finally:
             for param, flag in zip(model.parameters(), was_grad):
                 param.requires_grad = flag
+
+    def _detect_pairs(self, model: Module, pairs: Sequence[ScanPair],
+                      batched: bool) -> DetectionResult:
+        """Pair-mode outer loop (grad flags already disabled by ``detect``).
+
+        Pairs are grouped by source so each group shares one clean-data
+        restriction and, when the detector implements it, one mega-batch
+        optimization across the group's targets.
+        """
+        pair_list: List[ScanPair] = []
+        groups: Dict[Optional[int], List[int]] = {}
+        for source, target in pairs:
+            pair = (None if source is None else int(source), int(target))
+            if pair in pair_list:
+                continue
+            pair_list.append(pair)
+            groups.setdefault(pair[0], []).append(pair[1])
+        if not pair_list:
+            raise ValueError("Pair-mode detection needs at least one "
+                             "(source, target) pair.")
+
+        start = time.perf_counter()
+        used_batched = False
+        by_pair: Dict[ScanPair, ReversedTrigger] = {}
+        for source, targets in groups.items():
+            group_start = time.perf_counter()
+            with self._restricted_clean(source):
+                group_triggers: Optional[List[ReversedTrigger]] = None
+                if batched and len(targets) > 1:
+                    group_triggers = self.reverse_engineer_batch(model, targets)
+                    group_batched = group_triggers is not None
+                    used_batched = used_batched or group_batched
+                if group_triggers is None:
+                    group_batched = False
+                    group_triggers = []
+                    for target in targets:
+                        t0 = time.perf_counter()
+                        trigger = self.reverse_engineer(model, target)
+                        trigger.seconds = time.perf_counter() - t0
+                        group_triggers.append(trigger)
+            if group_batched:
+                per_target = (time.perf_counter() - group_start) / len(targets)
+                for trigger in group_triggers:
+                    trigger.seconds = per_target
+            for target, trigger in zip(targets, group_triggers):
+                trigger.source_class = source
+                by_pair[(source, target)] = trigger
+                _LOG.debug("%s pair (%s -> %d): L1=%.3f success=%.2f",
+                           self.name, "*" if source is None else source,
+                           target, trigger.l1_norm, trigger.success_rate)
+        triggers = [by_pair[pair] for pair in pair_list]
+        total_seconds = time.perf_counter() - start
+
+        norms = [t.l1_norm for t in triggers]
+        position_indices = mad_anomaly_indices(norms)
+        pair_anomaly = {pair_list[pos]: value
+                        for pos, value in position_indices.items()}
+        flagged_pairs = sorted(
+            (pair for pair, value in pair_anomaly.items()
+             if value > self.anomaly_threshold),
+            key=lambda pair: (pair[1], -1 if pair[0] is None else pair[0]))
+        anomaly_indices: Dict[int, float] = {}
+        for (source, target), value in pair_anomaly.items():
+            anomaly_indices[target] = max(anomaly_indices.get(target, 0.0),
+                                          value)
+        flagged_classes = sorted({target for _, target in flagged_pairs})
+        return DetectionResult(
+            detector=self.name,
+            triggers=triggers,
+            anomaly_indices=anomaly_indices,
+            flagged_classes=flagged_classes,
+            is_backdoored=bool(flagged_pairs),
+            seconds_total=total_seconds,
+            metadata={"batched": 1.0 if used_batched else 0.0,
+                      "pair_mode": 1.0,
+                      "pairs_scanned": float(len(pair_list))},
+            pair_anomaly_indices=pair_anomaly,
+            flagged_pairs=flagged_pairs,
+        )

@@ -3,17 +3,34 @@
 Transforms operate on NumPy batches of shape ``(N, C, H, W)`` and are applied
 by the training loop.  The paper trains with TrojanZoo defaults; we provide
 the standard crop/flip augmentations plus normalization, all optional.
+
+Randomized transforms accept ``rng`` as either a ``numpy`` generator or an
+integer seed.  When omitted they fall back to a *deterministic* seeded
+generator (seed 0) rather than spawning a fresh unseeded one, so two runs
+built without explicit RNG plumbing still reproduce each other; the training
+loop passes its experiment-seeded generator explicitly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
 __all__ = ["Compose", "Normalize", "RandomHorizontalFlip", "RandomCrop", "RandomNoise"]
 
 Transform = Callable[[np.ndarray], np.ndarray]
+
+RngLike = Union[np.random.Generator, int, None]
+
+
+def _resolve_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce ``rng`` (generator, int seed, or None) into a generator."""
+    if rng is None:
+        return np.random.default_rng(0)
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng
 
 
 class Compose:
@@ -48,9 +65,9 @@ class Normalize:
 class RandomHorizontalFlip:
     """Flip each image left-right with probability ``p``."""
 
-    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, p: float = 0.5, rng: RngLike = None) -> None:
         self.p = p
-        self._rng = rng or np.random.default_rng()
+        self._rng = _resolve_rng(rng)
 
     def __call__(self, images: np.ndarray) -> np.ndarray:
         flip = self._rng.random(len(images)) < self.p
@@ -60,11 +77,16 @@ class RandomHorizontalFlip:
 
 
 class RandomCrop:
-    """Pad-and-crop augmentation (the CIFAR-style 4-pixel jitter)."""
+    """Pad-and-crop augmentation (the CIFAR-style 4-pixel jitter).
 
-    def __init__(self, padding: int = 2, rng: Optional[np.random.Generator] = None) -> None:
+    ``padding`` defaults to 4, matching the canonical CIFAR recipe; the
+    CPU-scale training loop passes ``padding=2`` explicitly for its smaller
+    inputs.
+    """
+
+    def __init__(self, padding: int = 4, rng: RngLike = None) -> None:
         self.padding = padding
-        self._rng = rng or np.random.default_rng()
+        self._rng = _resolve_rng(rng)
 
     def __call__(self, images: np.ndarray) -> np.ndarray:
         if self.padding == 0:
@@ -82,9 +104,9 @@ class RandomCrop:
 class RandomNoise:
     """Additive Gaussian noise augmentation."""
 
-    def __init__(self, std: float = 0.01, rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, std: float = 0.01, rng: RngLike = None) -> None:
         self.std = std
-        self._rng = rng or np.random.default_rng()
+        self._rng = _resolve_rng(rng)
 
     def __call__(self, images: np.ndarray) -> np.ndarray:
         noisy = images + self._rng.normal(0.0, self.std, size=images.shape)

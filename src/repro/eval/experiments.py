@@ -27,7 +27,14 @@ from ..attacks import (
     InputAwareDynamicAttack,
     LatentBackdoorAttack,
 )
-from ..attacks.base import BackdoorAttack
+from ..attacks.base import (
+    SCENARIO_ALL_TO_ALL,
+    SCENARIO_ALL_TO_ONE,
+    SCENARIO_SOURCE_CONDITIONAL,
+    SCENARIOS,
+    BackdoorAttack,
+    TargetSpec,
+)
 from ..core.trigger_optimizer import TriggerOptimizationConfig
 from ..core.uap import TargetedUAPConfig
 from ..core.usb import USBConfig, USBDetector
@@ -52,6 +59,9 @@ __all__ = [
     "FleetModelSummary",
     "build_attack",
     "build_case_detectors",
+    "case_scenario_id",
+    "default_source_classes",
+    "scenario_grid_config",
     "run_case",
     "run_case_model_job",
     "run_experiment",
@@ -81,6 +91,19 @@ class AttackSpec:
     patch_fraction: Optional[float] = None
     poison_rate: float = 0.1
     target_class: int = 0
+    #: Scenario axis (see :data:`repro.attacks.SCENARIOS`).
+    scenario: str = SCENARIO_ALL_TO_ONE
+    #: Victim classes for ``source_conditional`` (defaulted per-dataset by
+    #: :func:`default_source_classes` when left unset).
+    source_classes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"Unknown scenario '{self.scenario}'. "
+                             f"Available: {SCENARIOS}")
+        if self.source_classes is not None:
+            object.__setattr__(self, "source_classes",
+                               tuple(int(c) for c in self.source_classes))
 
     def resolve_patch(self, image_size: int) -> int:
         if self.patch_fraction is not None:
@@ -88,6 +111,28 @@ class AttackSpec:
         if self.patch_size is not None:
             return self.patch_size
         return 3
+
+    def resolve_scenario(self, num_classes: Optional[int]) -> TargetSpec:
+        """The concrete :class:`TargetSpec` this attack trains under."""
+        sources = self.source_classes
+        if self.scenario == SCENARIO_SOURCE_CONDITIONAL and sources is None:
+            if num_classes is None:
+                raise ValueError("source_conditional without explicit "
+                                 "source_classes needs num_classes.")
+            sources = default_source_classes(self.target_class, num_classes)
+        return TargetSpec(kind=self.scenario, target_class=self.target_class,
+                          source_classes=sources, num_classes=num_classes)
+
+
+def default_source_classes(target_class: int, num_classes: int,
+                           count: int = 2) -> Tuple[int, ...]:
+    """Default victim classes for source-conditional runs: the ``count``
+    classes cyclically following the target."""
+    if num_classes < 2:
+        raise ValueError("source-conditional needs at least two classes.")
+    count = min(count, num_classes - 1)
+    return tuple(sorted((target_class + offset) % num_classes
+                        for offset in range(1, count + 1)))
 
 
 @dataclass(frozen=True)
@@ -210,6 +255,7 @@ class ExperimentResult:
         for case_result in self.cases:
             for detector_name, summary in case_result.summaries.items():
                 row = summary.as_row()
+                row["scenario"] = case_scenario_id(case_result.case)
                 row["accuracy"] = round(case_result.mean_accuracy * 100, 2)
                 asr = case_result.mean_asr
                 row["asr"] = round(asr * 100, 2) if asr is not None else None
@@ -226,24 +272,34 @@ class ExperimentResult:
 # ---------------------------------------------------------------------- #
 # Builders
 # ---------------------------------------------------------------------- #
-def build_attack(spec: AttackSpec, image_shape, rng: np.random.Generator
-                 ) -> BackdoorAttack:
-    """Instantiate the attack described by ``spec`` for ``image_shape``."""
+def build_attack(spec: AttackSpec, image_shape, rng: np.random.Generator,
+                 num_classes: Optional[int] = None) -> BackdoorAttack:
+    """Instantiate the attack described by ``spec`` for ``image_shape``.
+
+    ``num_classes`` anchors the scenario (the all-to-all label shift wraps
+    modulo K); it may stay ``None`` for plain all-to-one specs.
+    """
     image_size = image_shape[1]
     patch = spec.resolve_patch(image_size)
+    scenario = (spec.resolve_scenario(num_classes)
+                if num_classes is not None or spec.scenario != SCENARIO_ALL_TO_ONE
+                else None)
     if spec.kind == "badnet":
         return BadNetAttack(spec.target_class, image_shape, patch_size=patch,
-                            poison_rate=spec.poison_rate, rng=rng)
+                            poison_rate=spec.poison_rate, scenario=scenario,
+                            rng=rng)
     if spec.kind == "latent":
         return LatentBackdoorAttack(spec.target_class, image_shape, patch_size=patch,
-                                    poison_rate=spec.poison_rate, rng=rng)
+                                    poison_rate=spec.poison_rate,
+                                    scenario=scenario, rng=rng)
     if spec.kind == "iad":
         return InputAwareDynamicAttack(spec.target_class, image_shape,
                                        backdoor_rate=max(spec.poison_rate, 0.1),
-                                       rng=rng)
+                                       scenario=scenario, rng=rng)
     if spec.kind == "blended":
         return BlendedAttack(spec.target_class, image_shape,
-                             poison_rate=spec.poison_rate, rng=rng)
+                             poison_rate=spec.poison_rate, scenario=scenario,
+                             rng=rng)
     raise KeyError(f"Unknown attack kind '{spec.kind}'.")
 
 
@@ -282,15 +338,76 @@ def build_case_detectors(clean_data: Dataset, scale: ExperimentScale,
 
 
 def _detection_classes(num_classes: int, scale: ExperimentScale,
-                       target_class: Optional[int]) -> Optional[List[int]]:
-    """Class subset to scan, honouring ``detection_class_limit``."""
+                       target_class: Optional[int],
+                       extra: Sequence[int] = ()) -> Optional[List[int]]:
+    """Class subset to scan, honouring ``detection_class_limit``.
+
+    ``extra`` classes (e.g. a conditional scenario's source classes) are kept
+    in the subset alongside the true target so pair-mode scans cover the
+    ground-truth (source, target) cells.
+    """
     limit = scale.detection_class_limit
     if limit is None or limit >= num_classes:
         return None
-    classes = list(range(limit))
-    if target_class is not None and target_class not in classes:
-        classes[-1] = target_class
-    return classes
+    required: List[int] = []
+    for cls in ([target_class] if target_class is not None else []) + list(extra):
+        if cls is not None and cls not in required:
+            required.append(int(cls))
+    fill = [c for c in range(num_classes) if c not in required]
+    return sorted((required + fill)[:max(limit, len(required))])
+
+
+def case_scenario_id(case: CaseSpec) -> str:
+    """Short scenario label for one case (reporting + store digests)."""
+    if case.is_clean:
+        return "-"
+    spec = case.attack
+    if spec.scenario == SCENARIO_SOURCE_CONDITIONAL:
+        sources = ",".join(str(c) for c in spec.source_classes or ())
+        return f"source_conditional({sources or '?'}->{spec.target_class})"
+    if spec.scenario == SCENARIO_ALL_TO_ALL:
+        return "all_to_all"
+    return f"{spec.scenario}(t={spec.target_class})"
+
+
+def scenario_grid_config(config: ExperimentConfig,
+                         scenarios: Sequence[str],
+                         source_classes: Optional[Sequence[int]] = None,
+                         cases: Optional[Sequence[str]] = None
+                         ) -> ExperimentConfig:
+    """Expand a table config along the scenario axis.
+
+    Every non-clean case is replicated once per scenario in ``scenarios``
+    (clean cases are kept as-is, once); ``cases`` optionally restricts the
+    expansion to the named base cases.  Source classes for
+    ``source_conditional`` default per-target via
+    :func:`default_source_classes`.
+    """
+    for kind in scenarios:
+        if kind not in SCENARIOS:
+            raise KeyError(f"Unknown scenario '{kind}'. Available: {SCENARIOS}")
+    spec = DATASET_SPECS[config.dataset]
+    expanded: List[CaseSpec] = []
+    for case in config.cases:
+        if cases is not None and case.name not in cases:
+            continue
+        if case.is_clean:
+            expanded.append(case)
+            continue
+        for kind in scenarios:
+            sources = None
+            if kind == SCENARIO_SOURCE_CONDITIONAL:
+                sources = (tuple(int(c) for c in source_classes)
+                           if source_classes is not None else
+                           default_source_classes(case.attack.target_class,
+                                                  spec.num_classes))
+            attack = replace(case.attack, scenario=kind, source_classes=sources)
+            name = (case.name if kind == SCENARIO_ALL_TO_ONE
+                    else f"{case.name}@{kind}")
+            expanded.append(CaseSpec(name, attack))
+    if not expanded:
+        raise ValueError("Scenario grid selected no cases.")
+    return replace(config, cases=tuple(expanded))
 
 
 # ---------------------------------------------------------------------- #
@@ -322,7 +439,8 @@ def _train_case_model(config: ExperimentConfig, case: CaseSpec, case_seed: int,
         true_target = None
     else:
         attack = build_attack(case.attack, image_shape,
-                              np.random.default_rng(model_seed + 3))
+                              np.random.default_rng(model_seed + 3),
+                              num_classes=spec.num_classes)
         trained = trainer.train_backdoored(model, train_set, test_set, attack,
                                            seed=model_seed)
         true_target = case.attack.target_class
@@ -337,20 +455,38 @@ def _detect_case_model(config: ExperimentConfig, case: CaseSpec,
                        trained: TrainedModel, true_target: Optional[int],
                        model_seed: int, model_index: int,
                        test_set: Dataset) -> Dict[str, ModelDetectionRecord]:
-    """Run every configured detector on one trained model."""
+    """Run every configured detector on one trained model.
+
+    For non-all-to-one cases the detectors run in pair mode: the scenario
+    supplies the (source, target) grid, and the records carry the scenario
+    plus the full ground-truth target set (all-to-all has K targets).
+    """
     scale = config.scale
     spec = DATASET_SPECS[config.dataset]
     clean_data = stratified_sample(test_set, scale.clean_budget,
                                    np.random.default_rng(model_seed + 4))
     detectors = build_case_detectors(clean_data, scale, config.detectors,
                                      np.random.default_rng(model_seed + 5))
-    classes = _detection_classes(spec.num_classes, scale, true_target)
+    scenario = trained.attack.scenario if trained.attack is not None else None
+    scenario_kind = scenario.kind if scenario is not None else SCENARIO_ALL_TO_ONE
+    extra = scenario.source_classes or () if scenario is not None else ()
+    classes = _detection_classes(spec.num_classes, scale, true_target,
+                                 extra=extra)
+    pairs = None
+    if scenario is not None and scenario.kind != SCENARIO_ALL_TO_ONE:
+        pairs = scenario.scan_pairs(classes if classes is not None
+                                    else range(spec.num_classes))
+    true_targets = (scenario.expected_target_classes(spec.num_classes)
+                    if scenario is not None else None)
+    if scenario_kind == SCENARIO_ALL_TO_ALL:
+        true_target = None
     records: Dict[str, ModelDetectionRecord] = {}
     for detector_name, detector in detectors.items():
-        detection = detector.detect(trained.model, classes=classes)
+        detection = detector.detect(trained.model, classes=classes, pairs=pairs)
         records[detector_name] = ModelDetectionRecord(
             model_index=model_index, is_backdoored_truth=not case.is_clean,
-            true_target_class=true_target, detection=detection)
+            true_target_class=true_target, detection=detection,
+            scenario=scenario_kind, true_target_classes=true_targets)
     return records
 
 
@@ -475,9 +611,12 @@ def _record_fleet_scans(config: ExperimentConfig, case: CaseSpec,
         return
     for detector_name, payload in outcome.records.items():
         record = ModelDetectionRecord.from_dict(payload)
+        # Scenario identity is part of the digest: the same weights scanned
+        # under different scenario grids must never share a cache entry.
         digest = digest_config({
             "experiment": config.name, "detector": detector_name.lower(),
             "scale": config.scale, "dataset": config.dataset,
+            "case": case.name, "scenario": case_scenario_id(case),
         })
         store.add(ScanRecord.from_detection(
             key=scan_key(summary.fingerprint, detector_name, digest),

@@ -19,10 +19,11 @@ models with two metrics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..attacks.base import SCENARIO_ALL_TO_ONE
 from ..core.detection import DetectionResult
 
 __all__ = ["TargetClassOutcome", "ModelDetectionRecord", "DetectionCaseSummary",
@@ -38,12 +39,34 @@ OUTCOME_WRONG: TargetClassOutcome = "wrong"
 
 @dataclass
 class ModelDetectionRecord:
-    """Detection outcome for a single model."""
+    """Detection outcome for a single model.
+
+    ``true_target_classes`` generalizes the single ``true_target_class`` for
+    scenarios with more than one ground-truth target (all-to-all has K);
+    when omitted it defaults to the singleton of ``true_target_class``.
+    ``scenario`` records which attack scenario produced the model.
+    """
 
     model_index: int
     is_backdoored_truth: bool
     true_target_class: Optional[int]
     detection: DetectionResult
+    scenario: str = SCENARIO_ALL_TO_ONE
+    true_target_classes: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.true_target_classes is not None:
+            self.true_target_classes = tuple(
+                int(c) for c in self.true_target_classes)
+
+    @property
+    def expected_targets(self) -> Optional[Tuple[int, ...]]:
+        """Ground-truth target set (``None`` for clean models)."""
+        if self.true_target_classes is not None:
+            return self.true_target_classes
+        if self.true_target_class is not None:
+            return (int(self.true_target_class),)
+        return None
 
     @property
     def predicted_backdoored(self) -> bool:
@@ -59,7 +82,7 @@ class ModelDetectionRecord:
         if not self.is_backdoored_truth or not self.predicted_backdoored:
             return None
         return classify_target_detection(self.detection.flagged_classes,
-                                         self.true_target_class)
+                                         self.expected_targets)
 
     # ------------------------------------------------------------------ #
     # Compact (JSON/pickle-friendly) round trip
@@ -78,31 +101,50 @@ class ModelDetectionRecord:
             "true_target_class": (int(self.true_target_class)
                                   if self.true_target_class is not None else None),
             "detection": self.detection.to_compact_dict(),
+            "scenario": self.scenario,
+            "true_target_classes": (list(self.true_target_classes)
+                                    if self.true_target_classes is not None
+                                    else None),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ModelDetectionRecord":
         """Rebuild a record (with a compact detection) from :meth:`to_dict`."""
         target = payload.get("true_target_class")
+        targets = payload.get("true_target_classes")
         return cls(
             model_index=int(payload["model_index"]),
             is_backdoored_truth=bool(payload["is_backdoored_truth"]),
             true_target_class=int(target) if target is not None else None,
             detection=DetectionResult.from_compact_dict(payload["detection"]),
+            scenario=str(payload.get("scenario", SCENARIO_ALL_TO_ONE)),
+            true_target_classes=(tuple(int(c) for c in targets)
+                                 if targets is not None else None),
         )
 
 
 def classify_target_detection(flagged_classes: List[int],
-                              true_target: Optional[int]) -> TargetClassOutcome:
-    """Map a set of flagged classes to Correct / Correct Set / Wrong."""
+                              true_target: Union[int, Iterable[int], None]
+                              ) -> TargetClassOutcome:
+    """Map a set of flagged classes to Correct / Correct Set / Wrong.
+
+    ``true_target`` may be a single class (all-to-one) or a collection of
+    ground-truth targets (all-to-all backdoors every class).  *Correct* means
+    every flagged class is a true target, *Correct Set* means the flags mix
+    true targets with false ones, *Wrong* means no true target was flagged.
+    """
     if true_target is None:
         raise ValueError("true_target must be provided for backdoored models.")
-    flagged = list(flagged_classes)
+    expected = ({int(true_target)} if isinstance(true_target, (int, np.integer))
+                else {int(c) for c in true_target})
+    if not expected:
+        raise ValueError("true_target must name at least one class.")
+    flagged = set(flagged_classes)
     if not flagged:
         raise ValueError("classify_target_detection expects at least one flagged class.")
-    if flagged == [true_target]:
+    if flagged <= expected:
         return OUTCOME_CORRECT
-    if true_target in flagged:
+    if flagged & expected:
         return OUTCOME_CORRECT_SET
     return OUTCOME_WRONG
 

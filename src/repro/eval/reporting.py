@@ -12,9 +12,10 @@ from typing import Dict, Iterable, List, Sequence
 __all__ = ["format_table", "format_rows", "detection_table_columns",
            "format_scan_records", "scan_record_columns"]
 
-#: Column order matching Tables 1-6 of the paper.
+#: Column order matching Tables 1-6 of the paper, plus the scenario axis
+#: (``-`` for clean cases, ``all_to_one(t=0)`` etc. for attacks).
 detection_table_columns: Sequence[str] = (
-    "case", "method", "accuracy", "asr", "l1_norm",
+    "case", "scenario", "method", "accuracy", "asr", "l1_norm",
     "clean", "backdoored", "correct", "correct_set", "wrong",
 )
 

@@ -85,10 +85,17 @@ def evaluate_accuracy(model: Module, dataset: Dataset, batch_size: int = 128) ->
 def evaluate_asr(model: Module, dataset: Dataset, attack: BackdoorAttack,
                  batch_size: int = 128,
                  rng: Optional[np.random.Generator] = None) -> float:
-    """Attack success rate: fraction of triggered non-target samples sent to the target."""
+    """Attack success rate: fraction of triggered victims sent where the attack maps them.
+
+    Victim selection and the expected poisoned label are delegated to the
+    attack's scenario: all-to-one counts non-target samples landing on the
+    target, source-conditional counts only source-class victims, and
+    all-to-all scores each sample against its shifted label ``(y+1) mod K``.
+    """
     rng = rng or np.random.default_rng()
-    mask = dataset.labels != attack.target_class
+    mask = attack.victim_mask(dataset.labels)
     images = dataset.images[mask]
+    expected = attack.expected_labels(dataset.labels[mask])
     if len(images) == 0:
         return 0.0
     model.eval()
@@ -98,7 +105,7 @@ def evaluate_asr(model: Module, dataset: Dataset, attack: BackdoorAttack,
             batch = images[start:start + batch_size]
             triggered = attack.apply_trigger(batch, rng)
             preds = model(Tensor(triggered)).data.argmax(axis=1)
-            hits += int((preds == attack.target_class).sum())
+            hits += int((preds == expected[start:start + batch_size]).sum())
     return hits / len(images)
 
 

@@ -1,25 +1,34 @@
 """Command-line front end for the scanning service: ``python -m repro``.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro scan checkpoint.npz --detector usb
+    python -m repro scan checkpoint.npz --scenario source_conditional \
+        --source-classes 1,2
     python -m repro grid ckpt_a.npz ckpt_b.npz --detectors usb,nc --workers 2
     python -m repro report --store scan_results.jsonl
+    python -m repro experiment --table table5 --scale bench \
+        --scenarios all_to_one,source_conditional,all_to_all
 
 ``scan`` runs one detector on one saved model; ``grid`` fans a
 checkpoint x detector matrix across the worker pool; ``report`` renders the
-result store.  All three share one JSONL store (``--store``, default
-``scan_results.jsonl``), so a repeated scan of an identical
-(weights, detector, config) triple is served from cache and labelled as such.
+result store; ``experiment`` trains and scans a paper table expanded along
+the scenario axis.  ``scan``/``grid``/``report`` share one JSONL store
+(``--store``, default ``scan_results.jsonl``), so a repeated scan of an
+identical (weights, detector, config, scenario) tuple is served from cache
+and labelled as such — the scenario is part of the cache key, so verdicts
+never collide across scenarios.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional, Sequence
 
+from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
 from ..data import DATASET_SPECS
 from ..models import MODEL_BUILDERS
 from .records import KNOWN_DETECTORS, ScanRecord, ScanRequest
@@ -40,6 +49,13 @@ def _add_scan_options(parser: argparse.ArgumentParser) -> None:
                         help="Input resolution (default: metadata, then dataset spec).")
     parser.add_argument("--classes", type=str, default=None,
                         help="Comma-separated candidate target classes (default: all).")
+    parser.add_argument("--scenario", default=SCENARIO_ALL_TO_ONE,
+                        choices=list(SCENARIOS),
+                        help="Scan scenario; non-all-to-one scans sweep the "
+                             "(source, target) pair grid.")
+    parser.add_argument("--source-classes", type=str, default=None,
+                        help="Comma-separated suspected source classes "
+                             "(source_conditional scans; default: all candidates).")
     parser.add_argument("--clean-budget", type=int, default=60,
                         help="Clean images handed to the detector (paper: 300).")
     parser.add_argument("--samples-per-class", type=int, default=30,
@@ -93,6 +109,31 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--detector", default=None,
                         help="Only show records from this detector.")
     report.add_argument("--json", action="store_true", dest="as_json")
+
+    experiment = commands.add_parser(
+        "experiment",
+        help="Train + scan one paper table expanded along the scenario axis.")
+    experiment.add_argument("--table", default="table5",
+                            help="Table config name (table1..table6).")
+    experiment.add_argument("--scale", default="bench",
+                            help="Scale preset (bench/tiny/small/paper).")
+    experiment.add_argument("--scenarios", default=SCENARIO_ALL_TO_ONE,
+                            help="Comma-separated scenario list "
+                                 f"({','.join(SCENARIOS)}).")
+    experiment.add_argument("--cases", type=str, default=None,
+                            help="Comma-separated base-case filter "
+                                 "(e.g. badnet_3x3).")
+    experiment.add_argument("--detectors", type=str, default=None,
+                            help="Comma-separated detector subset "
+                                 "(default: the table's own list).")
+    experiment.add_argument("--source-classes", type=str, default=None,
+                            help="Source classes for source_conditional cases "
+                                 "(default: the two classes after the target).")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--workers", type=int, default=0,
+                            help="Dispatch the (case, model) fleet across N "
+                                 "worker processes; 0/1 runs serially.")
+    experiment.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -110,7 +151,8 @@ def _request_from_args(args: argparse.Namespace, checkpoint: str,
         classes=_parse_classes(args.classes), clean_budget=args.clean_budget,
         samples_per_class=args.samples_per_class, iterations=args.iterations,
         uap_passes=args.uap_passes, anomaly_threshold=args.anomaly_threshold,
-        seed=args.seed)
+        seed=args.seed, scenario=args.scenario,
+        source_classes=_parse_classes(args.source_classes))
 
 
 def _make_scheduler(args: argparse.Namespace) -> ScanScheduler:
@@ -145,10 +187,22 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     print(f"  model={record.model} dataset={record.dataset} "
           f"fingerprint={record.fingerprint[:16]}...")
     detection = record.to_detection_result()
-    for cls in sorted(detection.per_class_l1):
-        flag = "  <-- flagged" if cls in record.flagged_classes else ""
-        print(f"  class {cls}: L1={detection.per_class_l1[cls]:10.2f}  "
-              f"anomaly={detection.anomaly_indices.get(cls, 0.0):6.2f}{flag}")
+    if detection.pair_anomaly_indices:
+        print(f"  scenario={args.scenario}: "
+              f"{len(detection.pair_anomaly_indices)} (source->target) cell(s)")
+        for pair in sorted(detection.per_pair_l1,
+                           key=lambda p: (p[1], -1 if p[0] is None else p[0])):
+            source, target = pair
+            flag = "  <-- flagged" if pair in detection.flagged_pairs else ""
+            print(f"  {'*' if source is None else source}->{target}: "
+                  f"L1={detection.per_pair_l1[pair]:10.2f}  "
+                  f"anomaly={detection.pair_anomaly_indices.get(pair, 0.0):6.2f}"
+                  f"{flag}")
+    else:
+        for cls in sorted(detection.per_class_l1):
+            flag = "  <-- flagged" if cls in record.flagged_classes else ""
+            print(f"  class {cls}: L1={detection.per_class_l1[cls]:10.2f}  "
+                  f"anomaly={detection.anomaly_indices.get(cls, 0.0):6.2f}{flag}")
     if not args.no_store:
         print(f"  store: {args.store} ({len(scheduler.store)} record(s); "
               f"hits={scheduler.cache_hits} misses={scheduler.cache_misses})")
@@ -191,9 +245,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from ..eval.experiments import (
+        SCALES,
+        TABLE_CONFIGS,
+        run_experiment,
+        scenario_grid_config,
+    )
+    from ..eval.reporting import detection_table_columns, format_table
+
+    if args.table not in TABLE_CONFIGS:
+        print(f"experiment: unknown table '{args.table}'. "
+              f"Available: {sorted(TABLE_CONFIGS)}", file=sys.stderr)
+        return 2
+    if args.scale not in SCALES:
+        print(f"experiment: unknown scale '{args.scale}'. "
+              f"Available: {sorted(SCALES)}", file=sys.stderr)
+        return 2
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    if not scenarios:
+        print("experiment: no scenarios given.", file=sys.stderr)
+        return 2
+    config = TABLE_CONFIGS[args.table](args.scale)
+    if args.detectors:
+        detectors = tuple(d.strip() for d in args.detectors.split(",")
+                          if d.strip())
+        config = dataclasses.replace(config, detectors=detectors)
+    cases = ([c.strip() for c in args.cases.split(",") if c.strip()]
+             if args.cases else None)
+    config = scenario_grid_config(
+        config, scenarios, cases=cases,
+        source_classes=_parse_classes(args.source_classes))
+    scheduler = (ScanScheduler(workers=args.workers)
+                 if args.workers and args.workers > 1 else None)
+    result = run_experiment(config, seed=args.seed, scheduler=scheduler)
+    rows = result.rows()
+    if args.as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    print(format_table(rows, columns=detection_table_columns,
+                       title=f"{config.name} [{args.scale}] x "
+                             f"scenarios({','.join(scenarios)})"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "report": _cmd_report}
+    handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "report": _cmd_report,
+                "experiment": _cmd_experiment}
     try:
         return handlers[args.command](args)
     except (OSError, KeyError, ValueError) as error:

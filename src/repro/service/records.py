@@ -15,6 +15,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
 from ..core.detection import DetectionResult
 
 __all__ = ["ScanRequest", "ScanRecord"]
@@ -49,26 +50,40 @@ class ScanRequest:
     uap_passes: int = 1
     anomaly_threshold: float = 2.0
     seed: int = 0
+    #: Scenario axis: non-all-to-one scans sweep the (source, target) pair
+    #: grid (clean data restricted per source class).  Part of the cache key.
+    scenario: str = SCENARIO_ALL_TO_ONE
+    #: Suspected source classes for ``source_conditional`` scans; ``None``
+    #: sweeps every candidate class as a source.
+    source_classes: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.detector.lower() not in KNOWN_DETECTORS:
             raise ValueError(f"Unknown detector '{self.detector}'. "
                              f"Available: {', '.join(KNOWN_DETECTORS)}")
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"Unknown scenario '{self.scenario}'. "
+                             f"Available: {', '.join(SCENARIOS)}")
         if self.classes is not None:
             object.__setattr__(self, "classes",
                                tuple(int(c) for c in self.classes))
+        if self.source_classes is not None:
+            object.__setattr__(self, "source_classes",
+                               tuple(int(c) for c in self.source_classes))
 
     def to_dict(self) -> Dict[str, Any]:
         payload = dataclasses.asdict(self)
-        if payload["classes"] is not None:
-            payload["classes"] = list(payload["classes"])
+        for key in ("classes", "source_classes"):
+            if payload[key] is not None:
+                payload[key] = list(payload[key])
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScanRequest":
         data = dict(payload)
-        if data.get("classes") is not None:
-            data["classes"] = tuple(int(c) for c in data["classes"])
+        for key in ("classes", "source_classes"):
+            if data.get(key) is not None:
+                data[key] = tuple(int(c) for c in data[key])
         known = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in known})
 

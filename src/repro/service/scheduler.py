@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from ..attacks.base import SCENARIO_ALL_TO_ONE, scan_pairs_for
 from ..core.trigger_optimizer import TriggerOptimizationConfig
 from ..core.uap import TargetedUAPConfig
 from ..core.usb import USBConfig, USBDetector
@@ -153,7 +154,10 @@ def resolve_request(request: ScanRequest,
     image_size = int(request.image_size or metadata.get("image_size")
                      or spec.image_size)
     # The digest covers everything besides the weights that can change the
-    # verdict: detector config, clean-data provenance, and the class subset.
+    # verdict: detector config, clean-data provenance, the class subset, and
+    # the scenario axis — cached verdicts must never collide across
+    # scenarios (an all-to-one scan and a source-conditional pair sweep of
+    # the same weights are different results).
     digest = digest_config({
         "detector": request.detector.lower(),
         "config": _detector_config(request),
@@ -163,6 +167,9 @@ def resolve_request(request: ScanRequest,
         "samples_per_class": request.samples_per_class,
         "classes": list(request.classes) if request.classes is not None else None,
         "seed": request.seed,
+        "scenario": request.scenario,
+        "source_classes": (list(request.source_classes)
+                           if request.source_classes is not None else None),
     })
     return ResolvedScan(
         request=request, model=model, dataset=dataset, image_size=image_size,
@@ -212,8 +219,14 @@ def execute_resolved(resolved: ResolvedScan) -> ScanRecord:
     clean = _clean_sample(resolved, rng)
     detector = build_request_detector(request, clean, rng)
     classes = list(request.classes) if request.classes is not None else None
+    pairs = None
+    if request.scenario != SCENARIO_ALL_TO_ONE:
+        candidate_classes = (classes if classes is not None
+                             else list(range(clean.num_classes)))
+        pairs = scan_pairs_for(request.scenario, candidate_classes,
+                               source_classes=request.source_classes)
     start = time.perf_counter()
-    detection = detector.detect(model, classes=classes)
+    detection = detector.detect(model, classes=classes, pairs=pairs)
     detection.seconds_total = time.perf_counter() - start
     return ScanRecord.from_detection(
         key=resolved.key, fingerprint=resolved.fingerprint,
