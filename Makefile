@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 bench bench-detection examples scenarios
+.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -29,6 +29,21 @@ scenarios:
 	  --table table5 --scale bench \
 	  --scenarios all_to_one,source_conditional,all_to_all \
 	  --cases badnet_3x3 --detectors usb --seed 1
+
+## Regenerate docs/api.md from the live public docstring surface.
+docs:
+	$(PYTHON) tools/gen_api_docs.py docs/api.md
+
+## Docs gate: docstring coverage (service layer + detection core) and
+## docs/api.md freshness.  Run by CI; fails on drift.
+docs-check:
+	$(PYTHON) tools/check_docstrings.py
+	$(PYTHON) tools/gen_api_docs.py --check docs/api.md
+
+## Daemon smoke: watch a temp drop dir through the real CLI, drop one
+## checkpoint, assert a verdict lands in the store and metrics publish.
+daemon-smoke:
+	$(PYTHON) tools/daemon_smoke.py
 
 ## Smoke-run every example end to end (slowest last; ~minutes on a CPU).
 examples:

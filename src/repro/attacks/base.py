@@ -203,6 +203,7 @@ class PoisonSummary:
 
     @property
     def poison_rate(self) -> float:
+        """Realized fraction of samples poisoned (0.0 for an empty batch)."""
         if self.total_count == 0:
             return 0.0
         return self.poisoned_count / self.total_count

@@ -52,6 +52,7 @@ class TriggerGenerator(nn.Module):
         self.mask_head = nn.Conv2d(hidden, 1, kernel_size=3, padding=1, rng=rng)
 
     def forward(self, x: Tensor) -> Tuple[Tensor, Tensor]:
+        """Map an input batch to its per-sample (pattern, mask) in [0, 1]."""
         hidden = self.encoder(x)
         pattern = self.pattern_head(hidden).sigmoid()
         mask = self.mask_head(hidden).sigmoid()

@@ -116,6 +116,7 @@ class ReversedTrigger:
 
     @property
     def pair(self) -> ScanPair:
+        """The (source, target) scan cell this trigger was optimized for."""
         return (self.source_class, self.target_class)
 
     @property
@@ -173,11 +174,13 @@ class DetectionResult:
 
     @property
     def median_l1(self) -> float:
+        """Median reversed-trigger L1 norm (the MAD test's anchor)."""
         values = [t.l1_norm for t in self.triggers]
         return float(np.median(values)) if values else 0.0
 
     @property
     def min_l1(self) -> float:
+        """Smallest reversed-trigger L1 norm across the scanned cells."""
         values = [t.l1_norm for t in self.triggers]
         return float(min(values)) if values else 0.0
 

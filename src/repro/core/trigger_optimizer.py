@@ -112,6 +112,7 @@ class TriggerOptimizationResult:
 
     @property
     def l1_norm(self) -> float:
+        """L1 norm of the effective trigger ``pattern * mask``."""
         return float(np.abs(self.pattern * self.mask).sum())
 
 

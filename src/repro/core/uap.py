@@ -71,10 +71,12 @@ class UAPResult:
 
     @property
     def l1_norm(self) -> float:
+        """L1 norm of the universal perturbation."""
         return float(np.abs(self.perturbation).sum())
 
     @property
     def l2_norm(self) -> float:
+        """L2 norm of the universal perturbation."""
         return float(np.sqrt((self.perturbation.astype(np.float64) ** 2).sum()))
 
 

@@ -106,6 +106,7 @@ class AttackSpec:
                                tuple(int(c) for c in self.source_classes))
 
     def resolve_patch(self, image_size: int) -> int:
+        """Concrete patch side length for an ``image_size`` input (default 3)."""
         if self.patch_fraction is not None:
             return max(2, int(round(self.patch_fraction * image_size)))
         if self.patch_size is not None:
@@ -144,6 +145,7 @@ class CaseSpec:
 
     @property
     def is_clean(self) -> bool:
+        """True for the clean-model control case (no attack configured)."""
         return self.attack is None
 
 
@@ -212,6 +214,7 @@ class ExperimentConfig:
     description: str = ""
 
     def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
+        """A copy of this config running at a different scale preset."""
         return replace(self, scale=scale)
 
 
@@ -263,6 +266,7 @@ class ExperimentResult:
         return table
 
     def summary_for(self, case_name: str, detector: str) -> DetectionCaseSummary:
+        """The per-(case, detector) summary (raises ``KeyError`` if absent)."""
         for case_result in self.cases:
             if case_result.case.name == case_name:
                 return case_result.summaries[detector]
@@ -632,17 +636,35 @@ def _record_fleet_scans(config: ExperimentConfig, case: CaseSpec,
 
 def run_experiment(config: ExperimentConfig, seed: int = 0,
                    scheduler=None,
-                   checkpoint_dir: Optional[str] = None) -> ExperimentResult:
+                   checkpoint_dir: Optional[str] = None,
+                   job_timeout: Optional[float] = None,
+                   job_retries: Optional[int] = None) -> ExperimentResult:
     """Run every case of an experiment and collect paper-style rows.
 
     Without a ``scheduler`` the fleet runs serially in-process (the
     historical behaviour, and what the unit tests exercise).  With a
     :class:`repro.service.ScanScheduler` the (case, model) grid is dispatched
-    as independent jobs — process-parallel for ``workers > 1``, inline
-    otherwise — and, when the scheduler carries a result store, every
+    through the scheduler's prioritized job queue — the same queue + retry
+    machinery the watch daemon drains — process-parallel for ``workers > 1``,
+    inline otherwise — and, when the scheduler carries a result store, every
     model's detections are recorded there under its weight fingerprint.
     ``checkpoint_dir`` additionally makes workers persist each trained model
     as a metadata-tagged checkpoint that ``python -m repro scan`` can replay.
+
+    Args:
+        config: Table description (cases, detectors, scale).
+        seed: Base seed; each case uses ``seed + case_index``.
+        scheduler: Optional :class:`repro.service.ScanScheduler`.
+        checkpoint_dir: When set (scheduler runs only), workers save each
+            trained model as a fingerprinted checkpoint here.
+        job_timeout: Per-(case, model) wall-clock budget forwarded to
+            :meth:`~repro.service.ScanScheduler.run_jobs` (pool path only;
+            default: the scheduler's own ``job_timeout``).
+        job_retries: Bounded retry budget per fleet job (default: the
+            scheduler's own ``job_retries``).
+
+    Returns:
+        The :class:`ExperimentResult` with one row per (case, detector).
     """
     if scheduler is None:
         case_results = []
@@ -661,8 +683,8 @@ def run_experiment(config: ExperimentConfig, seed: int = 0,
             for model_index in range(config.scale.models_per_case)]
     _LOG.info("Dispatching %s: %d job(s) across %d worker(s).", config.name,
               len(jobs), max(getattr(scheduler, "workers", 1), 1))
-    outcomes: List[CaseModelOutcome] = scheduler.run_jobs(run_case_model_job,
-                                                          jobs)
+    outcomes: List[CaseModelOutcome] = scheduler.run_jobs(
+        run_case_model_job, jobs, timeout=job_timeout, retries=job_retries)
 
     case_results = []
     for case_index, case in enumerate(config.cases):

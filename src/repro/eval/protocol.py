@@ -70,10 +70,12 @@ class ModelDetectionRecord:
 
     @property
     def predicted_backdoored(self) -> bool:
+        """The detector's verdict for this model."""
         return self.detection.is_backdoored
 
     @property
     def model_detection_correct(self) -> bool:
+        """True when the verdict matches the ground truth."""
         return self.predicted_backdoored == self.is_backdoored_truth
 
     @property
@@ -167,6 +169,7 @@ class DetectionCaseSummary:
     # ------------------------------------------------------------------ #
     @property
     def num_models(self) -> int:
+        """Number of models scanned in this case."""
         return len(self.records)
 
     @property
@@ -184,27 +187,33 @@ class DetectionCaseSummary:
 
     @property
     def predicted_clean(self) -> int:
+        """Models the detector declared clean (the paper's 'Clean' column)."""
         return sum(1 for r in self.records if not r.predicted_backdoored)
 
     @property
     def predicted_backdoored(self) -> int:
+        """Models the detector flagged as backdoored."""
         return sum(1 for r in self.records if r.predicted_backdoored)
 
     @property
     def correct(self) -> int:
+        """Flagged models whose single suspect class is the true target."""
         return sum(1 for r in self.records if r.target_class_outcome == OUTCOME_CORRECT)
 
     @property
     def correct_set(self) -> int:
+        """Flagged models whose flagged *set* contains the true target."""
         return sum(1 for r in self.records
                    if r.target_class_outcome == OUTCOME_CORRECT_SET)
 
     @property
     def wrong(self) -> int:
+        """Flagged models whose flagged classes miss the true target entirely."""
         return sum(1 for r in self.records if r.target_class_outcome == OUTCOME_WRONG)
 
     @property
     def model_detection_accuracy(self) -> float:
+        """Fraction of models whose backdoored/clean verdict was correct."""
         if not self.records:
             return 0.0
         return sum(r.model_detection_correct for r in self.records) / len(self.records)

@@ -40,10 +40,12 @@ class ClassTiming:
 
     @property
     def total_seconds(self) -> float:
+        """Summed wall clock over all scanned classes."""
         return float(sum(self.per_class_seconds.values()))
 
     @property
     def mean_seconds(self) -> float:
+        """Mean per-class wall clock (0.0 when nothing was timed)."""
         if not self.per_class_seconds:
             return 0.0
         return self.total_seconds / len(self.per_class_seconds)
@@ -57,6 +59,7 @@ class TimingReport:
     timings: List[ClassTiming]
 
     def rows(self) -> List[Dict[str, object]]:
+        """Table-7-style rows: one per (detector, mode) timing entry."""
         out: List[Dict[str, object]] = []
         for timing in self.timings:
             row: Dict[str, object] = {"case": self.case_name,

@@ -6,15 +6,25 @@ The service layer turns the in-process detectors into throughput:
   of state dicts plus detector-config digests;
 * :mod:`repro.service.records` — :class:`ScanRequest` / :class:`ScanRecord`,
   the picklable/JSON-safe units of work and result;
-* :mod:`repro.service.store` — an append-only JSONL result store with an
-  in-memory index, making repeat scans cache hits;
+* :mod:`repro.service.locks` — advisory per-shard file locks and atomic
+  file replacement, the multi-writer primitives;
+* :mod:`repro.service.store` — result stores: the legacy single-file JSONL
+  :class:`ResultStore` and the sharded, concurrent-writer
+  :class:`ShardedResultStore` (pick via :func:`open_store`), both making
+  repeat scans cache hits and both supporting ``compact`` / ``merge``;
 * :mod:`repro.service.scheduler` — :class:`ScanScheduler`, which resolves
-  cache keys in the parent and fans misses across a process pool (with a
-  serial inline fallback);
+  cache keys in the parent and fans misses across a process pool through a
+  prioritized :class:`JobQueue` with per-job timeouts and bounded retries,
+  accumulating :class:`ServiceMetrics`;
+* :mod:`repro.service.daemon` — :class:`WatchDaemon`, the long-running
+  ``python -m repro watch`` loop over a checkpoint drop directory with a
+  JSON stats endpoint;
 * :mod:`repro.service.cli` — the ``python -m repro`` command line
-  (``scan`` / ``grid`` / ``report``).
+  (``scan`` / ``grid`` / ``report`` / ``experiment`` / ``watch`` /
+  ``store compact`` / ``store merge``).
 """
 
+from .daemon import CheckpointWatcher, DaemonConfig, WatchDaemon
 from .fingerprint import (
     digest_config,
     fingerprint_checkpoint,
@@ -22,15 +32,20 @@ from .fingerprint import (
     fingerprint_state_dict,
     scan_key,
 )
+from .locks import FileLock, LockTimeout, atomic_write
 from .records import ScanRecord, ScanRequest
 from .scheduler import (
+    JobQueue,
+    JobTimeoutError,
+    QueuedJob,
     ResolvedScan,
     ScanScheduler,
+    ServiceMetrics,
     execute_resolved,
     execute_scan,
     resolve_request,
 )
-from .store import ResultStore
+from .store import ResultStore, ShardedResultStore, open_store
 
 __all__ = [
     "digest_config",
@@ -42,8 +57,20 @@ __all__ = [
     "ScanRequest",
     "ResolvedScan",
     "ScanScheduler",
+    "ServiceMetrics",
+    "JobQueue",
+    "JobTimeoutError",
+    "QueuedJob",
     "execute_resolved",
     "execute_scan",
     "resolve_request",
     "ResultStore",
+    "ShardedResultStore",
+    "open_store",
+    "FileLock",
+    "LockTimeout",
+    "atomic_write",
+    "CheckpointWatcher",
+    "DaemonConfig",
+    "WatchDaemon",
 ]

@@ -1,6 +1,6 @@
 """Command-line front end for the scanning service: ``python -m repro``.
 
-Four subcommands::
+Subcommands::
 
     python -m repro scan checkpoint.npz --detector usb
     python -m repro scan checkpoint.npz --scenario source_conditional \
@@ -9,15 +9,25 @@ Four subcommands::
     python -m repro report --store scan_results.jsonl
     python -m repro experiment --table table5 --scale bench \
         --scenarios all_to_one,source_conditional,all_to_all
+    python -m repro watch drop_dir/ --store scans/ --detectors usb,nc
+    python -m repro store compact --store scans/
+    python -m repro store merge --store scans/ --source other_store/
 
 ``scan`` runs one detector on one saved model; ``grid`` fans a
 checkpoint x detector matrix across the worker pool; ``report`` renders the
-result store; ``experiment`` trains and scans a paper table expanded along
-the scenario axis.  ``scan``/``grid``/``report`` share one JSONL store
-(``--store``, default ``scan_results.jsonl``), so a repeated scan of an
-identical (weights, detector, config, scenario) tuple is served from cache
-and labelled as such — the scenario is part of the cache key, so verdicts
-never collide across scenarios.
+result store (plus the daemon's stats endpoint when one exists);
+``experiment`` trains and scans a paper table expanded along the scenario
+axis; ``watch`` runs the drop-directory daemon
+(:mod:`repro.service.daemon`); ``store compact`` / ``store merge`` maintain
+a store in place.
+
+All commands share one result store (``--store``).  The default is the
+legacy single-file ``scan_results.jsonl``; point ``--store`` at a directory
+(or any extension-less path) to get the sharded multi-writer layout that
+concurrent schedulers and daemons can write simultaneously.  A repeated scan
+of an identical (weights, detector, config, scenario) tuple is served from
+cache and labelled as such — the scenario is part of the cache key, so
+verdicts never collide across scenarios.
 """
 
 from __future__ import annotations
@@ -25,15 +35,17 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
 from ..data import DATASET_SPECS
 from ..models import MODEL_BUILDERS
+from .daemon import DaemonConfig, WatchDaemon, default_stats_path
 from .records import KNOWN_DETECTORS, ScanRecord, ScanRequest
 from .scheduler import ScanScheduler
-from .store import ResultStore
+from .store import open_store
 
 __all__ = ["build_parser", "main"]
 
@@ -41,6 +53,7 @@ DEFAULT_STORE = "scan_results.jsonl"
 
 
 def _add_scan_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the scan-budget/scenario flags shared by scan-like commands."""
     parser.add_argument("--model", choices=sorted(MODEL_BUILDERS),
                         help="Architecture to rebuild (default: checkpoint metadata).")
     parser.add_argument("--dataset", choices=sorted(DATASET_SPECS),
@@ -70,8 +83,11 @@ def _add_scan_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    """Attach the store/worker/output flags shared by most commands."""
     parser.add_argument("--store", default=DEFAULT_STORE,
-                        help=f"JSONL result store (default: {DEFAULT_STORE}).")
+                        help="Result store: a .jsonl file (single-writer) or "
+                             "a directory for the sharded multi-writer "
+                             f"layout (default: {DEFAULT_STORE}).")
     parser.add_argument("--no-store", action="store_true",
                         help="Disable the cache: always recompute, never persist.")
     parser.add_argument("--workers", type=int, default=0,
@@ -81,6 +97,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser (all subcommands).
+
+    Returns:
+        The configured :class:`argparse.ArgumentParser`.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="USB/NC/TABOR backdoor-scanning service.")
@@ -104,11 +125,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(grid)
 
     report = commands.add_parser(
-        "report", help="Render the result store as a table.")
+        "report", help="Render the result store (and daemon stats) as tables.")
     report.add_argument("--store", default=DEFAULT_STORE)
     report.add_argument("--detector", default=None,
                         help="Only show records from this detector.")
+    report.add_argument("--stats", default=None,
+                        help="Daemon stats endpoint file (default: derived "
+                             "from --store; shown only when it exists).")
     report.add_argument("--json", action="store_true", dest="as_json")
+
+    watch = commands.add_parser(
+        "watch", help="Daemon: poll a drop directory, scan new checkpoints.")
+    watch.add_argument("directory", help="Drop directory to watch for .npz files.")
+    watch.add_argument("--detectors", default="usb",
+                       help="Comma-separated detector list run per checkpoint.")
+    watch.add_argument("--poll-interval", type=float, default=2.0,
+                       help="Seconds between directory polls.")
+    watch.add_argument("--job-timeout", type=float, default=None,
+                       help="Kill a scan after this many seconds (default: "
+                            "unlimited).")
+    watch.add_argument("--retries", type=int, default=1,
+                       help="Retry budget per failed/timed-out job.")
+    watch.add_argument("--settle-polls", type=int, default=1,
+                       help="Polls a file must stay unchanged before scanning "
+                            "(guards against half-copied checkpoints).")
+    watch.add_argument("--max-iterations", type=int, default=0,
+                       help="Stop after N polls (0 = run until interrupted).")
+    watch.add_argument("--stats", default=None,
+                       help="Stats endpoint file (default: derived from "
+                            "--store).")
+    _add_scan_options(watch)
+    watch.add_argument("--store", default=DEFAULT_STORE,
+                       help="Result store; use a directory for the sharded "
+                            "multi-writer layout.")
+
+    store = commands.add_parser(
+        "store", help="Maintain a result store in place.")
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    compact = store_commands.add_parser(
+        "compact", help="Dedupe superseded records and rewrite the shards.")
+    compact.add_argument("--store", default=DEFAULT_STORE)
+    merge = store_commands.add_parser(
+        "merge", help="Fold a foreign store in (existing cache keys win).")
+    merge.add_argument("--store", default=DEFAULT_STORE,
+                       help="Destination store.")
+    merge.add_argument("--source", required=True,
+                       help="Foreign store (file or directory) to merge in.")
 
     experiment = commands.add_parser(
         "experiment",
@@ -138,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _parse_classes(text: Optional[str]) -> Optional[tuple]:
+    """Parse a comma-separated class list CLI value (``None``/blank -> None)."""
     if text is None or not text.strip():
         return None
     return tuple(int(part) for part in text.split(",") if part.strip())
@@ -145,6 +208,7 @@ def _parse_classes(text: Optional[str]) -> Optional[tuple]:
 
 def _request_from_args(args: argparse.Namespace, checkpoint: str,
                        detector: str) -> ScanRequest:
+    """Build one :class:`ScanRequest` from parsed scan-option flags."""
     return ScanRequest(
         checkpoint=checkpoint, detector=detector, model=args.model,
         dataset=args.dataset, image_size=args.image_size,
@@ -156,12 +220,14 @@ def _request_from_args(args: argparse.Namespace, checkpoint: str,
 
 
 def _make_scheduler(args: argparse.Namespace) -> ScanScheduler:
-    store = None if args.no_store else ResultStore(args.store)
+    """Build the scheduler (and open the store) a command asked for."""
+    store = None if args.no_store else open_store(args.store)
     return ScanScheduler(store=store, workers=args.workers)
 
 
 def _print_records(records: Sequence[ScanRecord], as_json: bool,
                    out=None) -> None:
+    """Render records as a text table (or JSON with ``as_json``)."""
     out = out or sys.stdout
     if as_json:
         out.write(json.dumps([r.to_dict() | {"cache_hit": r.cache_hit}
@@ -175,6 +241,7 @@ def _print_records(records: Sequence[ScanRecord], as_json: bool,
 # Subcommands
 # ---------------------------------------------------------------------- #
 def _cmd_scan(args: argparse.Namespace) -> int:
+    """``scan``: one checkpoint, one detector, verdict to stdout."""
     scheduler = _make_scheduler(args)
     record = scheduler.scan_one(_request_from_args(args, args.checkpoint,
                                                    args.detector))
@@ -210,6 +277,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
+    """``grid``: fan a checkpoint x detector matrix across the worker pool."""
     detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
     if not detectors:
         print("grid: no detectors given.", file=sys.stderr)
@@ -226,26 +294,115 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_stats(args: argparse.Namespace) -> Optional[dict]:
+    """Read the daemon stats endpoint for ``report``, if one exists."""
+    stats_path = args.stats or default_stats_path(args.store)
+    if not os.path.exists(stats_path):
+        return None
+    with open(stats_path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["_path"] = stats_path
+    return payload
+
+
+def _print_stats(stats: dict) -> None:
+    """Render the daemon's metrics fields under the record table."""
+    hits, misses = stats.get("cache_hits", 0), stats.get("cache_misses", 0)
+    print(f"daemon stats ({stats.get('_path')}):")
+    print(f"  scans served: {stats.get('scans_served', 0)}  "
+          f"cache-hit ratio: {stats.get('cache_hit_ratio', 0.0):.2f} "
+          f"({hits} hit(s) / {misses} miss(es))")
+    print(f"  scan latency: p50={stats.get('latency_p50_s', 0.0):.2f}s "
+          f"p95={stats.get('latency_p95_s', 0.0):.2f}s")
+    print(f"  failures: {stats.get('failures', 0)}  "
+          f"retries: {stats.get('retries', 0)}  "
+          f"queue depth: {stats.get('queue_depth', 0)}  "
+          f"checkpoints seen: {stats.get('checkpoints_seen', 0)}")
+    if stats.get("updated_at"):
+        print(f"  updated: {stats['updated_at']}")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    store = ResultStore(args.store)
+    """``report``: render the store as a table, plus daemon stats if present."""
+    store = open_store(args.store)
     records = store.records()
     if args.detector:
         records = [r for r in records
                    if r.detector.lower() == args.detector.lower()]
+    stats = _load_stats(args)
+    if args.as_json:
+        payload = {"records": [r.to_dict() for r in records]}
+        if stats is not None:
+            payload["stats"] = {k: v for k, v in stats.items() if k != "_path"}
+        print(json.dumps(payload, indent=2))
+        return 0
     if not records:
         print(f"{args.store}: no records"
               + (f" for detector '{args.detector}'" if args.detector else "")
               + ".")
-        return 0
-    _print_records(records, as_json=args.as_json)
-    if not args.as_json:
+    else:
+        _print_records(records, as_json=False)
         backdoored = sum(1 for r in records if r.is_backdoored)
         print(f"{len(records)} record(s): {backdoored} backdoored, "
               f"{len(records) - backdoored} clean.")
+    if stats is not None:
+        _print_stats(stats)
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """``watch``: run the drop-directory daemon (see :mod:`..service.daemon`)."""
+    detectors = [d.strip() for d in args.detectors.split(",") if d.strip()]
+    if not detectors:
+        print("watch: no detectors given.", file=sys.stderr)
+        return 2
+    for detector in detectors:
+        if detector.lower() not in KNOWN_DETECTORS:
+            print(f"watch: unknown detector '{detector}'. "
+                  f"Available: {', '.join(KNOWN_DETECTORS)}", file=sys.stderr)
+            return 2
+    request_options = dict(
+        model=args.model, dataset=args.dataset, image_size=args.image_size,
+        classes=_parse_classes(args.classes), clean_budget=args.clean_budget,
+        samples_per_class=args.samples_per_class, iterations=args.iterations,
+        uap_passes=args.uap_passes, anomaly_threshold=args.anomaly_threshold,
+        seed=args.seed, scenario=args.scenario,
+        source_classes=_parse_classes(args.source_classes))
+    config = DaemonConfig(
+        watch_dir=args.directory, store_path=args.store, detectors=detectors,
+        poll_interval=args.poll_interval, job_timeout=args.job_timeout,
+        max_retries=args.retries, settle_polls=args.settle_polls,
+        stats_path=args.stats, request_options=request_options)
+    daemon = WatchDaemon(config)
+    print(f"watching {args.directory} -> store {args.store} "
+          f"(detectors: {', '.join(detectors)}; stats: {daemon.stats_path})")
+    stats = daemon.run(max_iterations=args.max_iterations or None)
+    print(f"served {stats['scans_served']} scan(s), "
+          f"hit ratio {stats['cache_hit_ratio']:.2f}, "
+          f"{stats['failures']} failure(s).")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``store compact`` / ``store merge``: in-place store maintenance."""
+    store = open_store(args.store)
+    if args.store_command == "compact":
+        result = store.compact()
+        print(f"{args.store}: compacted "
+              f"{result.get('shards', 1)} shard(s)/file(s): "
+              f"{result['lines_before']} line(s) -> "
+              f"{result['records_after']} record(s) "
+              f"({result['dropped']} superseded line(s) dropped).")
+        return 0
+    result = store.merge(args.source)
+    print(f"{args.store}: merged {result['merged']} record(s) from "
+          f"{args.source} ({result['skipped']} already-present key(s) "
+          "skipped).")
     return 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    """``experiment``: train + scan one paper table along the scenario axis."""
     from ..eval.experiments import (
         SCALES,
         TABLE_CONFIGS,
@@ -290,9 +447,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse ``argv`` and dispatch to the subcommand.
+
+    Args:
+        argv: Argument list (default: ``sys.argv[1:]``).
+
+    Returns:
+        Process exit code (0 success, 1 runtime error, 2 usage error).
+    """
     args = build_parser().parse_args(argv)
     handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "report": _cmd_report,
-                "experiment": _cmd_experiment}
+                "experiment": _cmd_experiment, "watch": _cmd_watch,
+                "store": _cmd_store}
     try:
         return handlers[args.command](args)
     except (OSError, KeyError, ValueError) as error:

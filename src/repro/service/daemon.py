@@ -1,0 +1,382 @@
+"""Watch daemon: a long-running vetting loop over a checkpoint drop directory.
+
+``python -m repro watch <dir>`` turns the scanning service into a service
+proper: the daemon polls a drop directory for new or changed ``.npz``
+checkpoints, enqueues one scan per (checkpoint, detector) on the shared
+prioritized :class:`~repro.service.scheduler.JobQueue`, and drains the queue
+with per-job wall-clock timeouts and bounded retries.  Verdicts land in the
+(usually sharded) result store — so any number of daemons and ad-hoc
+``python -m repro scan`` invocations can share one store — and a JSON stats
+endpoint file (scans served, cache-hit ratio, p50/p95 scan latency, failure
+and retry counts) is rewritten atomically after every loop iteration for
+``python -m repro report`` and external monitors to consume.
+
+Unlike the pool path of :meth:`ScanScheduler.run_jobs`, the daemon executes
+each scan in a dedicated child process it can *kill*: a hung scan is
+terminated at its deadline, counted, and retried up to the configured budget,
+and the loop keeps serving the rest of the queue.
+
+A checkpoint is only enqueued once its (mtime, size) signature has stayed
+stable for ``settle_polls`` consecutive polls, so half-copied files are never
+scanned; rewriting a checkpoint re-triggers a scan (a changed file changes
+its fingerprint, so the store treats it as a new model).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..utils.logging import get_logger
+from .locks import atomic_write
+from .records import ScanRecord, ScanRequest
+from .scheduler import (
+    JobQueue,
+    JobTimeoutError,
+    QueuedJob,
+    ScanScheduler,
+    execute_resolved,
+    resolve_request,
+)
+from .store import STATS_NAME, open_store
+
+__all__ = ["CheckpointWatcher", "DaemonConfig", "WatchDaemon", "ScanJob",
+           "default_stats_path", "run_scan_in_child"]
+
+_LOG = get_logger("repro.service.daemon")
+
+#: Version tag written into the stats payload so consumers can evolve.
+STATS_FORMAT = 1
+
+
+def default_stats_path(store_path: str) -> str:
+    """Where the daemon publishes stats for a given store path.
+
+    Sharded stores keep ``stats.json`` inside the store directory; a legacy
+    single-file store gets a ``<store>.stats.json`` sibling.
+    """
+    text = os.fspath(store_path)
+    if os.path.isfile(text):  # legacy file, however it is named
+        return text + ".stats.json"
+    if os.path.isdir(text) or os.path.splitext(text)[1] == "":
+        return os.path.join(text, STATS_NAME)
+    return text + ".stats.json"
+
+
+class CheckpointWatcher:
+    """Polls a directory for new or changed checkpoint files.
+
+    Args:
+        directory: Drop directory to watch (non-recursive).
+        patterns: ``fnmatch`` patterns a file name must match.
+        settle_polls: Consecutive polls a file's (mtime, size) signature must
+            stay unchanged before it is reported — protects against scanning
+            half-copied checkpoints.  ``0`` reports files immediately.
+
+    Each :meth:`poll` returns the paths that became *ready* since the last
+    report: brand-new files and files whose content signature changed (which
+    re-arms them).
+    """
+
+    def __init__(self, directory: str, patterns: Sequence[str] = ("*.npz",),
+                 settle_polls: int = 1) -> None:
+        self.directory = os.fspath(directory)
+        self.patterns = tuple(patterns)
+        self.settle_polls = int(settle_polls)
+        #: path -> (signature, polls the signature has been stable for).
+        self._seen: Dict[str, Tuple[Tuple[int, int], int]] = {}
+        #: path -> signature last reported to the caller.
+        self._reported: Dict[str, Tuple[int, int]] = {}
+
+    def _matches(self, name: str) -> bool:
+        return any(fnmatch.fnmatch(name, pattern) for pattern in self.patterns)
+
+    def poll(self) -> List[str]:
+        """One polling pass; returns newly ready checkpoint paths (sorted)."""
+        ready: List[str] = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except FileNotFoundError:
+            return ready
+        live = set()
+        for name in names:
+            if not self._matches(name):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            live.add(path)
+            signature = (stat.st_mtime_ns, stat.st_size)
+            previous = self._seen.get(path)
+            if previous is None or previous[0] != signature:
+                stable = 0
+            else:
+                stable = previous[1] + 1
+            self._seen[path] = (signature, stable)
+            if stable >= self.settle_polls and self._reported.get(path) != signature:
+                self._reported[path] = signature
+                ready.append(path)
+        # Forget deleted files so a re-drop of the same name re-triggers.
+        for path in list(self._seen):
+            if path not in live:
+                self._seen.pop(path, None)
+                self._reported.pop(path, None)
+        return ready
+
+
+@dataclass(frozen=True)
+class ScanJob:
+    """One queued daemon job: scan ``checkpoint`` with ``detector``."""
+
+    checkpoint: str
+    detector: str
+
+
+@dataclass
+class DaemonConfig:
+    """Everything ``python -m repro watch`` configures.
+
+    Args:
+        watch_dir: Drop directory to poll for checkpoints.
+        store_path: Result store (any :func:`repro.service.open_store`
+            layout; an extension-less path creates a sharded store).
+        detectors: Detectors run against every checkpoint.
+        poll_interval: Seconds between directory polls.
+        job_timeout: Wall-clock budget per scan; the child process running a
+            scan is killed at the deadline.  ``None`` disables the limit.
+        max_retries: Bounded retry budget per job after a failure or timeout.
+        settle_polls: See :class:`CheckpointWatcher`.
+        patterns: File-name patterns treated as checkpoints.
+        stats_path: Stats endpoint file (default: derived from the store via
+            :func:`default_stats_path`).
+        request_options: Extra :class:`~repro.service.records.ScanRequest`
+            fields applied to every job (scan budgets, classes, scenario...).
+        scan_fn: Module-level callable mapping a resolved scan to a
+            :class:`~repro.service.records.ScanRecord`; overridable for
+            tests (must pickle, since it crosses a process boundary).
+    """
+
+    watch_dir: str
+    store_path: str
+    detectors: Sequence[str] = ("usb",)
+    poll_interval: float = 2.0
+    job_timeout: Optional[float] = None
+    max_retries: int = 1
+    settle_polls: int = 1
+    patterns: Sequence[str] = ("*.npz",)
+    stats_path: Optional[str] = None
+    request_options: Dict[str, Any] = field(default_factory=dict)
+    scan_fn: Callable[..., ScanRecord] = execute_resolved
+
+
+def _child_entry(conn, scan_fn, resolved) -> None:
+    """Child-process entry: run one scan, ship the record (or error) back."""
+    try:
+        record = scan_fn(resolved)
+        conn.send(("ok", record.to_dict()))
+    except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+        conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        conn.close()
+
+
+def run_scan_in_child(scan_fn: Callable[..., ScanRecord], resolved,
+                      timeout: Optional[float]) -> ScanRecord:
+    """Execute ``scan_fn(resolved)`` in a killable child process.
+
+    Args:
+        scan_fn: Module-level scan callable (pickled to the child).
+        resolved: Its single argument (a ``ResolvedScan`` in production).
+        timeout: Seconds before the child is terminated; ``None`` waits
+            forever.
+
+    Returns:
+        The child's :class:`~repro.service.records.ScanRecord`.
+
+    Raises:
+        JobTimeoutError: the deadline passed (the child is killed first).
+        RuntimeError: the child reported an error or died without answering.
+    """
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    process = multiprocessing.Process(target=_child_entry,
+                                      args=(child_conn, scan_fn, resolved))
+    process.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout):
+            process.terminate()
+            process.join()
+            raise JobTimeoutError(
+                f"scan exceeded {timeout:.1f}s and was killed.")
+        try:
+            status, payload = parent_conn.recv()
+        except EOFError:
+            raise RuntimeError("scan worker died without reporting a result "
+                               f"(exit code {process.exitcode}).") from None
+        if status != "ok":
+            raise RuntimeError(f"scan worker failed: {payload}")
+        return ScanRecord.from_dict(payload)
+    finally:
+        parent_conn.close()
+        process.join()
+
+
+class WatchDaemon:
+    """The ``python -m repro watch`` loop: poll, enqueue, scan, publish stats.
+
+    Args:
+        config: See :class:`DaemonConfig`.
+        scheduler: Optional pre-built scheduler (the daemon builds one around
+            ``config.store_path`` when omitted); its
+            :class:`~repro.service.scheduler.ServiceMetrics` is what the
+            stats endpoint publishes.
+    """
+
+    def __init__(self, config: DaemonConfig,
+                 scheduler: Optional[ScanScheduler] = None) -> None:
+        self.config = config
+        if scheduler is None:
+            store = open_store(config.store_path)
+            scheduler = ScanScheduler(store=store,
+                                      job_timeout=config.job_timeout,
+                                      job_retries=config.max_retries)
+        self.scheduler = scheduler
+        self.watcher = CheckpointWatcher(config.watch_dir,
+                                         patterns=config.patterns,
+                                         settle_polls=config.settle_polls)
+        self.queue = JobQueue()
+        self.stats_path = config.stats_path or default_stats_path(
+            config.store_path)
+        #: Checkpoints ever reported ready by the watcher.
+        self.checkpoints_seen = 0
+        #: Completed loop iterations (polls).
+        self.iterations = 0
+
+    # ------------------------------------------------------------------ #
+    # Queue handling
+    # ------------------------------------------------------------------ #
+    def _enqueue(self, checkpoint: str) -> None:
+        """Queue one job per configured detector for a ready checkpoint."""
+        self.checkpoints_seen += 1
+        for priority, detector in enumerate(self.config.detectors):
+            self.queue.push(ScanJob(checkpoint=checkpoint, detector=detector),
+                            priority=priority)
+            _LOG.info("queued %s [%s]", checkpoint, detector)
+
+    def _request_for(self, job: ScanJob) -> ScanRequest:
+        """Build the :class:`ScanRequest` a queued job resolves to."""
+        return ScanRequest(checkpoint=job.checkpoint, detector=job.detector,
+                           **self.config.request_options)
+
+    def _process(self, queued: QueuedJob) -> None:
+        """Run one queued job: cache-check, scan in a child, retry on failure."""
+        job: ScanJob = queued.payload
+        metrics = self.scheduler.metrics
+        store = self.scheduler.store
+        try:
+            resolved = resolve_request(self._request_for(job))
+        except Exception as error:  # unreadable checkpoint, bad metadata...
+            _LOG.warning("%s [%s]: cannot resolve (%s)", job.checkpoint,
+                         job.detector, error)
+            metrics.failures += 1
+            return
+        cached = store.lookup(resolved.key) if store is not None else None
+        if cached is not None:
+            metrics.record_hit()
+            _LOG.info("%s [%s]: cache hit", job.checkpoint, job.detector)
+            return
+        start = time.monotonic()
+        try:
+            record = run_scan_in_child(self.config.scan_fn, resolved,
+                                       self.config.job_timeout)
+        except Exception as error:
+            if queued.attempts < self.config.max_retries:
+                metrics.retries += 1
+                _LOG.warning("%s [%s]: %s — retrying (%d/%d)", job.checkpoint,
+                             job.detector, error, queued.attempts + 1,
+                             self.config.max_retries)
+                self.queue.requeue(queued)
+            else:
+                metrics.failures += 1
+                _LOG.error("%s [%s]: giving up after %d attempt(s): %s",
+                           job.checkpoint, job.detector, queued.attempts + 1,
+                           error)
+            return
+        metrics.record_miss(time.monotonic() - start)
+        if store is not None:
+            store.add(record)
+        _LOG.info("%s [%s] -> %s (%.1fs)", job.checkpoint, job.detector,
+                  "BACKDOORED" if record.is_backdoored else "clean",
+                  record.seconds)
+
+    # ------------------------------------------------------------------ #
+    # Loop
+    # ------------------------------------------------------------------ #
+    def run_once(self) -> int:
+        """One iteration: poll the drop dir, drain the queue, publish stats.
+
+        Returns:
+            Number of jobs taken off the queue this iteration.
+        """
+        for checkpoint in self.watcher.poll():
+            self._enqueue(checkpoint)
+        processed = 0
+        while self.queue:
+            self._process(self.queue.pop())
+            processed += 1
+        self.iterations += 1
+        self.write_stats()
+        return processed
+
+    def run(self, max_iterations: Optional[int] = None) -> Dict[str, Any]:
+        """Run the polling loop until interrupted (or for ``max_iterations``).
+
+        Args:
+            max_iterations: Stop after this many polls; ``None`` (production)
+                loops until ``KeyboardInterrupt``.
+
+        Returns:
+            The final stats payload (also on disk at ``stats_path``).
+        """
+        try:
+            while max_iterations is None or self.iterations < max_iterations:
+                self.run_once()
+                if max_iterations is not None and \
+                        self.iterations >= max_iterations:
+                    break
+                time.sleep(self.config.poll_interval)
+        except KeyboardInterrupt:
+            _LOG.info("interrupted — writing final stats.")
+            self.write_stats()
+        return self.stats()
+
+    # ------------------------------------------------------------------ #
+    # Stats endpoint
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """The current stats payload (the endpoint-file schema)."""
+        payload: Dict[str, Any] = {"format": STATS_FORMAT}
+        payload.update(self.scheduler.metrics.snapshot())
+        payload.update({
+            "queue_depth": len(self.queue),
+            "checkpoints_seen": self.checkpoints_seen,
+            "iterations": self.iterations,
+            "watch_dir": os.path.abspath(self.config.watch_dir),
+            "store_path": os.path.abspath(self.config.store_path),
+            "updated_at": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"),
+        })
+        return payload
+
+    def write_stats(self) -> None:
+        """Atomically rewrite the stats endpoint file."""
+        atomic_write(self.stats_path,
+                     json.dumps(self.stats(), indent=2, sort_keys=True) + "\n")

@@ -72,6 +72,7 @@ class ScanRequest:
                                tuple(int(c) for c in self.source_classes))
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload (class tuples become lists) for shipping/logging."""
         payload = dataclasses.asdict(self)
         for key in ("classes", "source_classes"):
             if payload[key] is not None:
@@ -80,6 +81,7 @@ class ScanRequest:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScanRequest":
+        """Rebuild a request from :meth:`to_dict` (unknown keys ignored)."""
         data = dict(payload)
         for key in ("classes", "source_classes"):
             if data.get(key) is not None:
@@ -143,6 +145,7 @@ class ScanRecord:
         return DetectionResult.from_compact_dict(self.detection)
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload: what the result store persists as one line."""
         payload = dataclasses.asdict(self)
         payload["flagged_classes"] = [int(c) for c in self.flagged_classes]
         payload["cache_hit"] = False  # transient — never persisted as hit
@@ -150,6 +153,7 @@ class ScanRecord:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ScanRecord":
+        """Rebuild a record from :meth:`to_dict` (unknown keys ignored)."""
         data = dict(payload)
         data["flagged_classes"] = tuple(int(c) for c in data.get("flagged_classes", ()))
         known = {f.name for f in dataclasses.fields(cls)}

@@ -18,16 +18,34 @@ The :class:`ScanScheduler` takes batches of
 Worker entry points (:func:`execute_scan`, and whatever job function callers
 hand to :meth:`ScanScheduler.run_jobs`) are module-level so they pickle under
 every multiprocessing start method.
+
+**Queue, timeouts, retries.**  All batch dispatch — scan batches and the
+experiment fleets of :func:`repro.eval.experiments.run_experiment` alike —
+drains a prioritized :class:`JobQueue`: lower ``priority`` first, FIFO within
+a priority, with per-job bounded retries (a failed job re-enters the queue
+behind its peers until its attempt budget is spent) and, on the pool path, a
+per-job wall-clock timeout.  A pool timeout marks the job failed/retryable
+but cannot preempt the stuck worker process — it is only reclaimed at pool
+shutdown; the watch daemon (:mod:`repro.service.daemon`) runs its scans in
+dedicated child processes it can actually kill.
+
+**Metrics.**  Every scheduler carries a :class:`ServiceMetrics` accumulator
+(scans served, cache-hit ratio, p50/p95 scan latency, failures, retries)
+whose :meth:`ServiceMetrics.snapshot` is what the daemon publishes to its
+stats endpoint file and ``python -m repro report`` renders.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field as dataclass_field
 from datetime import datetime, timezone
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
+                    Tuple, TypeVar)
 
 import numpy as np
 
@@ -52,12 +70,16 @@ from .records import ScanRecord, ScanRequest
 from .store import ResultStore
 
 __all__ = ["ResolvedScan", "ScanScheduler", "resolve_request", "execute_scan",
-           "execute_resolved", "build_request_detector"]
+           "execute_resolved", "build_request_detector", "JobQueue",
+           "QueuedJob", "JobTimeoutError", "ServiceMetrics"]
 
 _LOG = get_logger("repro.service.scheduler")
 
 _JobT = TypeVar("_JobT")
 _ResultT = TypeVar("_ResultT")
+
+#: Number of recent computed-scan latencies kept for percentile snapshots.
+LATENCY_WINDOW = 1024
 
 
 def _utc_now() -> str:
@@ -241,37 +263,285 @@ def execute_scan(request: ScanRequest) -> ScanRecord:
 
 
 # ---------------------------------------------------------------------- #
+# Job queue, failure types, metrics
+# ---------------------------------------------------------------------- #
+class JobTimeoutError(RuntimeError):
+    """A job exceeded its wall-clock budget (and its retry budget, if any)."""
+
+
+@dataclass(order=True)
+class QueuedJob:
+    """One queue entry: a payload with scheduling metadata.
+
+    Ordering (what the heap compares) is ``(priority, sequence)``: lower
+    priority first, FIFO within a priority.  ``attempts`` counts executions
+    so far — a retried job re-enters the queue with a fresh sequence number,
+    placing it behind already-queued peers of the same priority.
+    """
+
+    priority: int
+    sequence: int
+    payload: Any = dataclass_field(compare=False)
+    attempts: int = dataclass_field(default=0, compare=False)
+
+
+class JobQueue:
+    """Prioritized FIFO job queue with retry bookkeeping (heap-based).
+
+    Not thread-safe by itself — the scheduler and the daemon drive it from a
+    single dispatcher loop (workers never touch the queue).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[QueuedJob] = []
+        self._sequence = 0
+
+    def push(self, payload: Any, priority: int = 0) -> QueuedJob:
+        """Enqueue ``payload``; lower ``priority`` runs first.
+
+        Returns:
+            The :class:`QueuedJob` wrapper (useful for later :meth:`requeue`).
+        """
+        job = QueuedJob(priority=int(priority), sequence=self._sequence,
+                        payload=payload)
+        self._sequence += 1
+        heapq.heappush(self._heap, job)
+        return job
+
+    def pop(self) -> QueuedJob:
+        """Dequeue the front job (raises :class:`IndexError` when empty)."""
+        return heapq.heappop(self._heap)
+
+    def requeue(self, job: QueuedJob) -> QueuedJob:
+        """Re-enqueue a failed job behind same-priority peers, counting the attempt."""
+        retry = QueuedJob(priority=job.priority, sequence=self._sequence,
+                          payload=job.payload, attempts=job.attempts + 1)
+        self._sequence += 1
+        heapq.heappush(self._heap, retry)
+        return retry
+
+    def __len__(self) -> int:
+        """Number of queued (not yet popped) jobs."""
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        """True while jobs are queued."""
+        return bool(self._heap)
+
+
+@dataclass
+class ServiceMetrics:
+    """Cumulative service counters plus scan-latency percentiles.
+
+    The scheduler updates these on every batch; the daemon publishes
+    :meth:`snapshot` to its stats endpoint file after each loop iteration.
+    """
+
+    #: Requests answered (cache hits + fresh computations).
+    scans_served: int = 0
+    #: Requests answered from the result store (incl. in-batch duplicates).
+    cache_hits: int = 0
+    #: Requests that required a fresh detector run.
+    cache_misses: int = 0
+    #: Jobs that exhausted their retry budget.
+    failures: int = 0
+    #: Retry attempts performed (not counting first attempts).
+    retries: int = 0
+    #: Wall-clock seconds of recent *computed* (non-cached) scans — a
+    #: bounded window (:data:`LATENCY_WINDOW`) so a long-running daemon's
+    #: memory and per-snapshot percentile cost stay O(1).
+    latencies: Deque[float] = dataclass_field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def record_hit(self) -> None:
+        """Count one request served from the store."""
+        self.scans_served += 1
+        self.cache_hits += 1
+
+    def record_miss(self, seconds: Optional[float] = None) -> None:
+        """Count one freshly computed request (and its latency, if known)."""
+        self.scans_served += 1
+        self.cache_misses += 1
+        if seconds is not None:
+            self.latencies.append(float(seconds))
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Hits over served requests (0.0 when nothing was served yet)."""
+        return self.cache_hits / self.scans_served if self.scans_served else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of computed-scan latencies."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-safe stats payload (the daemon's stats-endpoint schema)."""
+        return {
+            "scans_served": self.scans_served,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
+            "latency_p50_s": round(self.latency_percentile(50), 4),
+            "latency_p95_s": round(self.latency_percentile(95), 4),
+            "failures": self.failures,
+            "retries": self.retries,
+        }
+
+
+# ---------------------------------------------------------------------- #
 # Scheduler
 # ---------------------------------------------------------------------- #
 class ScanScheduler:
     """Runs scan batches across a worker pool with result-store caching.
 
-    ``workers <= 1`` is the serial fallback: jobs run inline in the parent,
-    in submission order — bit-identical to the pool path (workers are forked
-    with the same seeds), just without the process hop.  The store is
-    optional; without one every request is computed fresh.
+    Args:
+        store: Optional result store (any :func:`repro.service.open_store`
+            layout); without one every request is computed fresh.
+        workers: Pool size.  ``workers <= 1`` is the serial fallback: jobs
+            run inline in the parent, in queue order — bit-identical to the
+            pool path (workers are forked with the same seeds), just without
+            the process hop.
+        job_timeout: Default per-job wall-clock budget (seconds) for
+            :meth:`run_jobs` on the pool path; ``None`` disables it.
+        job_retries: Default retry budget per job — a failed (or timed-out)
+            job is re-queued up to this many times before the batch fails.
     """
 
     def __init__(self, store: Optional[ResultStore] = None,
-                 workers: int = 0) -> None:
+                 workers: int = 0, job_timeout: Optional[float] = None,
+                 job_retries: int = 0) -> None:
         self.store = store
         self.workers = int(workers)
-        #: Batch counters, reset never — cumulative over the scheduler's life.
-        self.cache_hits = 0
-        self.cache_misses = 0
+        self.job_timeout = job_timeout
+        self.job_retries = int(job_retries)
+        #: Cumulative counters over the scheduler's life (never reset).
+        self.metrics = ServiceMetrics()
+
+    @property
+    def cache_hits(self) -> int:
+        """Requests served from the store so far (see :class:`ServiceMetrics`)."""
+        return self.metrics.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Requests that required a fresh computation so far."""
+        return self.metrics.cache_misses
 
     # ------------------------------------------------------------------ #
-    # Generic parallel map (also used by the experiment fleet)
+    # Generic queued dispatch (also used by the experiment fleet)
     # ------------------------------------------------------------------ #
     def run_jobs(self, fn: Callable[[_JobT], _ResultT],
-                 payloads: Sequence[_JobT]) -> List[_ResultT]:
-        """Apply a module-level ``fn`` to every payload, preserving order."""
+                 payloads: Sequence[_JobT],
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None) -> List[_ResultT]:
+        """Apply a module-level ``fn`` to every payload, preserving order.
+
+        Every payload goes through the prioritized :class:`JobQueue` (all at
+        priority 0 here, so plain FIFO) with the scheduler's retry budget;
+        the pool path additionally enforces ``timeout`` seconds of wall
+        clock per job.  A job that exhausts its retries re-raises its last
+        error (:class:`JobTimeoutError` for timeouts), failing the batch.
+
+        Args:
+            fn: Module-level callable (must pickle for the pool path).
+            payloads: Job inputs; results come back in the same order.
+            timeout: Per-job budget override (default: ``job_timeout``).
+                Inline (serial) execution cannot be preempted, so the budget
+                only applies on the pool path.
+            retries: Retry budget override (default: ``job_retries``).
+
+        Returns:
+            ``[fn(p) for p in payloads]``, computed queue-driven.
+        """
         items = list(payloads)
+        timeout = self.job_timeout if timeout is None else timeout
+        retries = self.job_retries if retries is None else int(retries)
+        queue = JobQueue()
+        for index, payload in enumerate(items):
+            queue.push((index, payload))
+        results: List[Optional[_ResultT]] = [None] * len(items)
         if self.workers <= 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            while queue:
+                job = queue.pop()
+                index, payload = job.payload
+                try:
+                    results[index] = fn(payload)
+                except Exception:
+                    if job.attempts < retries:
+                        self.metrics.retries += 1
+                        queue.requeue(job)
+                        continue
+                    self.metrics.failures += 1
+                    raise
+            return results  # type: ignore[return-value]
+
         max_workers = min(self.workers, len(items))
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(fn, items))
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        running: Dict[Any, Tuple[QueuedJob, float]] = {}
+        #: Workers presumed wedged on a timed-out task (a pool cannot preempt
+        #: a running job).  They shrink the dispatch capacity so queued jobs
+        #: are never submitted behind a stuck worker — where their timeout
+        #: clock would run without the job ever starting.
+        stuck = 0
+        try:
+
+            def _dispatch() -> None:
+                while queue and len(running) < max_workers - stuck:
+                    job = queue.pop()
+                    future = pool.submit(fn, job.payload[1])
+                    running[future] = (job, time.monotonic())
+
+            _dispatch()
+            while running:
+                expiries = [started + timeout for _, started in running.values()
+                            ] if timeout is not None else []
+                wait_budget = (max(0.0, min(expiries) - time.monotonic())
+                               if expiries else None)
+                done, _ = wait(set(running), timeout=wait_budget,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                expired = [future for future, (_, started) in running.items()
+                           if timeout is not None and future not in done
+                           and now - started >= timeout]
+                for future in list(done) + expired:
+                    job, _started = running.pop(future)
+                    error: Optional[BaseException] = None
+                    if future in done:
+                        error = future.exception()
+                        if error is None:
+                            results[job.payload[0]] = future.result()
+                            continue
+                    else:
+                        if not future.cancel():
+                            # Already running: that worker is occupied until
+                            # the abandoned task finishes, if it ever does.
+                            stuck += 1
+                        error = JobTimeoutError(
+                            f"job {job.payload[0]} exceeded {timeout:.1f}s "
+                            f"(attempt {job.attempts + 1}).")
+                    if job.attempts < retries:
+                        _LOG.warning("Retrying job %d after %s", job.payload[0],
+                                     error)
+                        self.metrics.retries += 1
+                        queue.requeue(job)
+                    else:
+                        self.metrics.failures += 1
+                        raise error
+                _dispatch()
+            if queue:
+                # Every worker is wedged on an abandoned task; the queued
+                # remainder can never start.
+                self.metrics.failures += 1
+                raise JobTimeoutError(
+                    f"{len(queue)} queued job(s) starved: all {max_workers} "
+                    "worker(s) are stuck on timed-out jobs.")
+        finally:
+            # With wedged workers a wait=True shutdown would block forever;
+            # abandon the pool instead (its processes die with the parent).
+            pool.shutdown(wait=stuck == 0, cancel_futures=stuck > 0)
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     # Cached scanning
@@ -293,7 +563,16 @@ class ScanScheduler:
         return copy
 
     def scan(self, requests: Sequence[ScanRequest]) -> List[ScanRecord]:
-        """Scan a batch, serving store hits and computing the rest in parallel."""
+        """Scan a batch, serving store hits and computing the rest in parallel.
+
+        Args:
+            requests: Scan jobs; the returned records line up with them.
+
+        Returns:
+            One :class:`~repro.service.records.ScanRecord` per request, in
+            order — cache hits flagged via ``cache_hit``, fresh records
+            appended to the attached store.
+        """
         checkpoint_cache: Dict[str, tuple] = {}
         resolved = [resolve_request(request, checkpoint_cache=checkpoint_cache)
                     for request in requests]
@@ -306,14 +585,14 @@ class ScanScheduler:
             cached = self.store.lookup(item.key) if self.store else None
             if cached is not None:
                 results[index] = self._served_copy(cached, item)
-                self.cache_hits += 1
+                self.metrics.record_hit()
                 continue
             if item.key in pending_keys:
                 # Duplicate inside this batch: computed once below and served
                 # as a hit, so it counts as one.
-                self.cache_hits += 1
+                self.metrics.record_hit()
                 continue
-            self.cache_misses += 1
+            self.metrics.record_miss()
             pending_keys.add(item.key)
             pending.append((index, item))
 
@@ -324,6 +603,7 @@ class ScanScheduler:
             fresh = self.run_jobs(execute_resolved, [item for _, item in pending])
             for (index, _), record in zip(pending, fresh):
                 results[index] = record
+                self.metrics.latencies.append(float(record.seconds))
                 if self.store is not None:
                     self.store.add(record)
 
