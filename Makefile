@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke
+.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -44,6 +44,12 @@ docs-check:
 ## checkpoint, assert a verdict lands in the store and metrics publish.
 daemon-smoke:
 	$(PYTHON) tools/daemon_smoke.py
+
+## Repair smoke: train a bench badnet model, drive the real
+## `python -m repro repair` CLI (scan -> repair -> verify), and assert the
+## true ASR drops >0.9 -> <0.2 within the clean-accuracy guardrail.
+repair-smoke:
+	$(PYTHON) tools/repair_smoke.py
 
 ## Smoke-run every example end to end (slowest last; ~minutes on a CPU).
 examples:

@@ -8,9 +8,12 @@ The package is organized as follows:
 * :mod:`repro.attacks` — backdoor attacks (BadNet, Latent, Input-Aware Dynamic, Blended).
 * :mod:`repro.core` — the paper's contribution: targeted UAP + USB detector.
 * :mod:`repro.defenses` — baselines (Neural Cleanse, TABOR) and shared detection machinery.
+* :mod:`repro.mitigation` — detect -> repair -> verify: trigger-informed
+  unlearning, activation-differential pruning, guardrailed repair pipeline.
 * :mod:`repro.eval` — training, detection protocol, experiment configurations, reporting.
 * :mod:`repro.service` — scanning service: fingerprinted checkpoints, cached
-  result store, process-parallel scan scheduler, and the ``python -m repro`` CLI.
+  result store, process-parallel scan scheduler, cacheable repair jobs, and
+  the ``python -m repro`` CLI.
 * :mod:`repro.utils` — SSIM, image helpers, RNG management.
 """
 

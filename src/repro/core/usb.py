@@ -80,7 +80,24 @@ class USBDetector(TriggerReverseEngineeringDetector):
         self._seeded_uaps: Dict[int, UAPResult] = {}
 
     def seed_uaps(self, uaps: Dict[int, UAPResult]) -> None:
-        """Provide precomputed UAPs (e.g. from a similar model) to skip Alg. 1."""
+        """Provide precomputed UAPs (e.g. from a similar model) to skip Alg. 1.
+
+        The paper's §4.4 amortization reuses UAPs across *similar* models —
+        which at minimum means the same input geometry.  Every seeded
+        perturbation is validated against this detector's clean-data
+        ``image_shape``; a UAP recovered from a model with a different input
+        shape raises :class:`ValueError` instead of being silently used as
+        the Alg. 2 init (and recorded into ``last_uaps`` as if native).
+        """
+        expected = tuple(self.clean_data.image_shape)
+        for target, result in uaps.items():
+            shape = tuple(np.asarray(result.perturbation).shape)
+            if shape != expected:
+                raise ValueError(
+                    f"seed_uaps: UAP for class {target} has shape {shape}, "
+                    f"but this detector scans {expected} inputs — UAPs only "
+                    "transfer between models sharing the input shape "
+                    "(paper §4.4).")
         self._seeded_uaps = dict(uaps)
 
     def reverse_engineer(self, model: Module, target_class: int) -> ReversedTrigger:

@@ -65,6 +65,7 @@ __all__ = [
     "run_case",
     "run_case_model_job",
     "run_experiment",
+    "run_repair_sweep",
     "table1_config",
     "table2_config",
     "table3_config",
@@ -703,6 +704,111 @@ def run_experiment(config: ExperimentConfig, seed: int = 0,
             case=case, trained=[o.summary for o in case_outcomes],
             summaries=summaries))
     return ExperimentResult(config=config, cases=case_results)
+
+
+# ---------------------------------------------------------------------- #
+# Repair sweep: detect -> repair -> verify across cases x detectors
+# ---------------------------------------------------------------------- #
+def run_repair_sweep(config: ExperimentConfig, seed: int = 0,
+                     strategies: Sequence[str] = ("unlearn",),
+                     plan=None) -> List[Dict[str, object]]:
+    """ASR-before/after repair table: attack x scenario x detector x strategy.
+
+    For every non-clean case the fleet is trained as in
+    :func:`run_experiment`, each configured detector reverse-engineers its
+    triggers once (full arrays, scenario-aware pair grids), and each repair
+    ``strategy`` is applied to a fresh copy of the weights through
+    :func:`repro.mitigation.repair_model` — so strategies are compared on
+    identical starting points.  Because the sweep owns the ground-truth
+    attack, the rows carry *true* ASR before/after (the service's repair
+    path can only report reversed-trigger flip rates).
+
+    Args:
+        config: Table description; clean cases are skipped.
+        seed: Base seed, offset per case exactly like :func:`run_experiment`.
+        strategies: Repair strategies to compare
+            (:data:`repro.mitigation.STRATEGIES` members).
+        plan: Base :class:`repro.mitigation.RepairPlan`; its ``strategy``
+            field is replaced per sweep column.
+
+    Returns:
+        One row dict per (case, model, detector, strategy) in the column
+        layout of :data:`repro.eval.reporting.repair_sweep_columns`
+        (percentages for accuracy/ASR).
+    """
+    from ..mitigation import RepairPlan, repair_model
+
+    plan = plan or RepairPlan()
+    scale = config.scale
+    spec = DATASET_SPECS[config.dataset]
+    rows: List[Dict[str, object]] = []
+    for case_index, case in enumerate(config.cases):
+        if case.is_clean:
+            continue
+        for model_index in range(scale.models_per_case):
+            trained, true_target, model_seed, test_set = _train_case_model(
+                config, case, seed + case_index, model_index)
+            snapshot = trained.model.state_dict()  # already a copy per entry
+            clean_data = stratified_sample(test_set, scale.clean_budget,
+                                           np.random.default_rng(model_seed + 4))
+            scenario = trained.attack.scenario
+            extra = scenario.source_classes or ()
+            classes = _detection_classes(spec.num_classes, scale, true_target,
+                                         extra=extra)
+            pairs = None
+            if scenario.kind != SCENARIO_ALL_TO_ONE:
+                pairs = scenario.scan_pairs(classes if classes is not None
+                                            else range(spec.num_classes))
+            detectors = build_case_detectors(clean_data, scale,
+                                             config.detectors,
+                                             np.random.default_rng(model_seed + 5))
+            for detector_name, detector in detectors.items():
+                detection = detector.detect(trained.model, classes=classes,
+                                            pairs=pairs)
+                for strategy in strategies:
+                    model = build_model(
+                        config.model, num_classes=spec.num_classes,
+                        in_channels=spec.channels,
+                        image_size=test_set.image_shape[1],
+                        rng=np.random.default_rng(model_seed + 1),
+                        **scale.model_kwargs)
+                    model.load_state_dict(snapshot)
+                    report = repair_model(
+                        model, detection, clean_data,
+                        plan=replace(plan, strategy=strategy),
+                        detector=detector, eval_data=test_set,
+                        attack=trained.attack,
+                        rng=np.random.default_rng(model_seed + 6))
+                    rows.append({
+                        "case": case.name,
+                        "scenario": case_scenario_id(case),
+                        "method": detector_name,
+                        "strategy": strategy,
+                        "model": model_index,
+                        "asr_before": (round(report.asr_before * 100, 2)
+                                       if report.asr_before is not None
+                                       else None),
+                        "asr_after": (round(report.asr_after * 100, 2)
+                                      if report.asr_after is not None
+                                      else None),
+                        "acc_before": round(report.accuracy_before * 100, 2),
+                        "acc_after": round(report.accuracy_after * 100, 2),
+                        "verdict_before": ("BACKDOORED" if report.verdict_before
+                                           else "clean"),
+                        "verdict_after": (
+                            "-" if report.verdict_after is None
+                            else "BACKDOORED" if report.verdict_after
+                            else "clean"),
+                        "guardrail_ok": report.guardrail_ok,
+                        "success": report.success,
+                        "cells": ",".join(report.cells) or "-",
+                    })
+                    _LOG.info(
+                        "%s/%s [%s/%s]: asr %.3f -> %.3f, acc %.3f -> %.3f",
+                        config.name, case.name, detector_name, strategy,
+                        report.asr_before or 0.0, report.asr_after or 0.0,
+                        report.accuracy_before, report.accuracy_after)
+    return rows
 
 
 # ---------------------------------------------------------------------- #

@@ -10,7 +10,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 __all__ = ["format_table", "format_rows", "detection_table_columns",
-           "format_scan_records", "scan_record_columns"]
+           "format_scan_records", "scan_record_columns",
+           "format_repair_records", "repair_record_columns",
+           "repair_sweep_columns"]
 
 #: Column order matching Tables 1-6 of the paper, plus the scenario axis
 #: (``-`` for clean cases, ``all_to_one(t=0)`` etc. for attacks).
@@ -75,3 +77,29 @@ def format_scan_records(records: Iterable[object], title: str = "") -> str:
     if not rows:
         return title or "(no scan records)"
     return format_table(rows, columns=scan_record_columns, title=title)
+
+
+#: Column order of the service's ``repair`` / ``report`` repair tables.
+repair_record_columns: Sequence[str] = (
+    "checkpoint", "method", "strategy", "before", "after", "acc_before",
+    "acc_after", "repaired", "success", "seconds", "cached",
+)
+
+#: Column order of the experiment repair sweep (ASR before/after per
+#: attack x scenario x detector x strategy).
+repair_sweep_columns: Sequence[str] = (
+    "case", "scenario", "method", "strategy", "asr_before", "asr_after",
+    "acc_before", "acc_after", "verdict_before", "verdict_after",
+    "guardrail_ok", "success",
+)
+
+
+def format_repair_records(records: Iterable[object], title: str = "") -> str:
+    """Render service :class:`~repro.service.records.RepairRecord` objects.
+
+    Duck-typed on ``as_row()``, like :func:`format_scan_records`.
+    """
+    rows = [record.as_row() for record in records]
+    if not rows:
+        return title or "(no repair records)"
+    return format_table(rows, columns=repair_record_columns, title=title)

@@ -1,0 +1,56 @@
+"""Backdoor mitigation: detect -> repair -> verify.
+
+The detectors' reversed ``(pattern, mask)`` triggers are actionable
+artifacts, not just evidence.  This package turns a flagged
+:class:`~repro.core.detection.DetectionResult` into a repaired model:
+
+* :mod:`repro.mitigation.unlearning` — trigger-informed unlearning:
+  fine-tune on clean batches stamped with each flagged reversed trigger but
+  labeled with their true classes (scenario-aware per-``(source, target)``
+  stamping), directly unlearning the poisoned shortcut;
+* :mod:`repro.mitigation.pruning` — activation-differential neuron pruning:
+  zero the penultimate units disproportionately excited by the reversed
+  trigger versus clean inputs;
+* :mod:`repro.mitigation.pipeline` — :class:`RepairPlan` /
+  :class:`RepairReport` orchestration: apply a strategy (unlearn, prune, or
+  both), then re-measure clean accuracy, reversed-trigger flip rates, true
+  ASR when the attack is known, and optionally re-scan — with a
+  configurable clean-accuracy guardrail that rolls bad repairs back.
+
+The scanning service exposes all of this as cacheable ``python -m repro
+repair`` jobs (:mod:`repro.service.repair`), and
+:func:`repro.eval.experiments.run_repair_sweep` sweeps it across
+attack x scenario x detector for before/after tables.
+"""
+
+from .pipeline import (
+    STRATEGIES,
+    RepairPlan,
+    RepairReport,
+    flagged_triggers,
+    repair_model,
+    reversed_trigger_success,
+)
+from .pruning import (
+    PruningConfig,
+    PruningReport,
+    activation_differential_prune,
+    find_classifier_head,
+)
+from .unlearning import UnlearningConfig, UnlearningReport, trigger_unlearn
+
+__all__ = [
+    "STRATEGIES",
+    "RepairPlan",
+    "RepairReport",
+    "repair_model",
+    "flagged_triggers",
+    "reversed_trigger_success",
+    "UnlearningConfig",
+    "UnlearningReport",
+    "trigger_unlearn",
+    "PruningConfig",
+    "PruningReport",
+    "activation_differential_prune",
+    "find_classifier_head",
+]

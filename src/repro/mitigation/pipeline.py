@@ -1,0 +1,382 @@
+"""Detect -> repair -> verify orchestration.
+
+:func:`repair_model` consumes a full :class:`~repro.core.detection.DetectionResult`
+(real reversed-trigger arrays, not the compact store summaries), applies the
+:class:`RepairPlan`'s strategy — trigger-informed unlearning
+(:mod:`.unlearning`), activation-differential pruning (:mod:`.pruning`), or
+both — and then *verifies*: clean accuracy before/after, the reversed
+triggers' flip rates before/after, the true ASR when the caller can supply
+the attack, and an optional re-scan with the original detector.  A
+configurable clean-accuracy guardrail rolls the weights back when a repair
+costs more accuracy than allowed.
+
+The service layer (:mod:`repro.service.repair`) wraps this into cacheable
+``python -m repro repair`` jobs; :func:`repro.eval.experiments.run_repair_sweep`
+sweeps it across attacks x scenarios x detectors for the paper-style
+before/after tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.detection import DetectionResult, ReversedTrigger
+from ..core.trigger_optimizer import blend_images
+from ..data.dataset import Dataset
+from ..eval.trainer import evaluate_accuracy, evaluate_asr
+from ..nn.layers import Module
+from ..nn.tensor import Tensor, no_grad
+from .pruning import PruningConfig, PruningReport, activation_differential_prune
+from .unlearning import (
+    UnlearningConfig,
+    UnlearningReport,
+    cell_label,
+    trigger_unlearn,
+)
+
+__all__ = ["STRATEGIES", "RepairPlan", "RepairReport", "repair_model",
+           "flagged_triggers", "reversed_trigger_success"]
+
+#: Repair strategies :func:`repair_model` understands, in escalation order.
+STRATEGIES = ("unlearn", "prune", "both")
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """How to repair a flagged model, and how much accuracy it may cost.
+
+    ``max_accuracy_drop`` is the guardrail: when the post-repair clean
+    accuracy falls more than this many *fraction points* (0.03 = 3 points)
+    below the pre-repair accuracy, the repair is rejected and — with
+    ``rollback_on_guardrail`` — the original weights are restored.
+    """
+
+    strategy: str = "unlearn"
+    unlearning: UnlearningConfig = field(default_factory=UnlearningConfig)
+    pruning: PruningConfig = field(default_factory=PruningConfig)
+    max_accuracy_drop: float = 0.03
+    #: Post-repair reversed-trigger flip rate below which a cell counts as
+    #: neutralized (feeds :attr:`RepairReport.success`).
+    success_flip_rate: float = 0.2
+    #: Re-run the detector on the repaired model when one is available.
+    rescan: bool = True
+    rollback_on_guardrail: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"Unknown repair strategy '{self.strategy}'. "
+                             f"Available: {', '.join(STRATEGIES)}")
+        if self.max_accuracy_drop < 0:
+            raise ValueError("max_accuracy_drop must be non-negative.")
+        if not 0.0 < self.success_flip_rate <= 1.0:
+            raise ValueError("success_flip_rate must be in (0, 1].")
+
+
+@dataclass
+class RepairReport:
+    """Everything the detect -> repair -> verify pipeline measured."""
+
+    strategy: str
+    detector: str = ""
+    #: ``"source->target"`` labels of the repaired cells (``*`` = any source).
+    cells: List[str] = field(default_factory=list)
+    #: True when a repair was actually applied (something was flagged).
+    repaired: bool = False
+    accuracy_before: float = 0.0
+    accuracy_after: float = 0.0
+    #: True attack success rate before/after (only when the caller supplied
+    #: the ground-truth attack — experiment sweeps do, the service cannot).
+    asr_before: Optional[float] = None
+    asr_after: Optional[float] = None
+    #: Reversed-trigger flip rates per cell, before/after the repair — the
+    #: service's attack-free ASR proxy.
+    trigger_success_before: Dict[str, float] = field(default_factory=dict)
+    trigger_success_after: Dict[str, float] = field(default_factory=dict)
+    verdict_before: bool = False
+    #: Re-scan verdict on the repaired model (``None`` when not re-scanned).
+    #: A re-scan may flag *different* cells than the repaired ones (a second
+    #: backdoor, or MAD noise at small scales) — that does not fail the
+    #: repair itself; see ``repaired_cells_clear``.
+    verdict_after: Optional[bool] = None
+    #: False when the re-scan still flags one of the cells this repair
+    #: targeted (the repair did not take).
+    repaired_cells_clear: bool = True
+    guardrail: float = 0.0
+    guardrail_ok: bool = True
+    rolled_back: bool = False
+    unlearning: Optional[UnlearningReport] = None
+    pruning: Optional[PruningReport] = None
+    seconds: float = 0.0
+
+    @property
+    def accuracy_drop(self) -> float:
+        """Clean-accuracy cost of the repair (fraction points)."""
+        return self.accuracy_before - self.accuracy_after
+
+    @property
+    def max_trigger_success_after(self) -> float:
+        """Worst post-repair flip rate across the repaired cells."""
+        if not self.trigger_success_after:
+            return 0.0
+        return max(self.trigger_success_after.values())
+
+    @property
+    def success(self) -> bool:
+        """Did the repair neutralize the backdoor within the guardrail?
+
+        True when nothing needed repair, or when the repair held the
+        guardrail, was not rolled back, every repaired cell's flip rate fell
+        below the plan's ``success_flip_rate``, and any re-scan no longer
+        flags the repaired cells.  A re-scan flag on an *unrelated* cell is
+        surfaced via ``verdict_after`` (scan it / repair it as a new
+        finding) but does not fail this repair.
+        """
+        if not self.repaired:
+            return not self.verdict_before
+        if not self.guardrail_ok or self.rolled_back:
+            return False
+        if not self.repaired_cells_clear:
+            return False
+        return all(rate < self.guardrail_flip_rate
+                   for rate in self.trigger_success_after.values())
+
+    #: Success threshold copied from the plan (kept on the report so the
+    #: JSON round trip is self-describing).
+    guardrail_flip_rate: float = 0.2
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload (what :class:`repro.service.RepairRecord` embeds)."""
+        return {
+            "strategy": self.strategy,
+            "detector": self.detector,
+            "cells": list(self.cells),
+            "repaired": bool(self.repaired),
+            "accuracy_before": float(self.accuracy_before),
+            "accuracy_after": float(self.accuracy_after),
+            "asr_before": (float(self.asr_before)
+                           if self.asr_before is not None else None),
+            "asr_after": (float(self.asr_after)
+                          if self.asr_after is not None else None),
+            "trigger_success_before": {k: float(v) for k, v
+                                       in self.trigger_success_before.items()},
+            "trigger_success_after": {k: float(v) for k, v
+                                      in self.trigger_success_after.items()},
+            "verdict_before": bool(self.verdict_before),
+            "verdict_after": (bool(self.verdict_after)
+                              if self.verdict_after is not None else None),
+            "repaired_cells_clear": bool(self.repaired_cells_clear),
+            "guardrail": float(self.guardrail),
+            "guardrail_ok": bool(self.guardrail_ok),
+            "rolled_back": bool(self.rolled_back),
+            "guardrail_flip_rate": float(self.guardrail_flip_rate),
+            "unlearning": (self.unlearning.to_dict()
+                           if self.unlearning is not None else None),
+            "pruning": (self.pruning.to_dict()
+                        if self.pruning is not None else None),
+            "seconds": float(self.seconds),
+            "success": bool(self.success),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RepairReport":
+        """Rebuild a (summary-level) report from :meth:`to_dict`.
+
+        The nested unlearning/pruning payloads are restored as their report
+        dataclasses; the derived ``success`` flag is recomputed, not read.
+        """
+        unlearning = None
+        if payload.get("unlearning") is not None:
+            raw = dict(payload["unlearning"])
+            unlearning = UnlearningReport(
+                cells=[str(c) for c in raw.get("cells", [])],
+                epochs=int(raw.get("epochs", 0)),
+                steps=int(raw.get("steps", 0)),
+                stamped={str(k): int(v)
+                         for k, v in dict(raw.get("stamped", {})).items()},
+                loss_history=[float(v) for v in raw.get("loss_history", [])])
+        pruning = None
+        if payload.get("pruning") is not None:
+            raw = dict(payload["pruning"])
+            pruning = PruningReport(
+                layer=str(raw.get("layer", "")),
+                units_total=int(raw.get("units_total", 0)),
+                pruned_units=[int(u) for u in raw.get("pruned_units", [])],
+                differentials=[float(d) for d in raw.get("differentials", [])])
+        return cls(
+            strategy=str(payload["strategy"]),
+            detector=str(payload.get("detector", "")),
+            cells=[str(c) for c in payload.get("cells", [])],
+            repaired=bool(payload.get("repaired", False)),
+            accuracy_before=float(payload.get("accuracy_before", 0.0)),
+            accuracy_after=float(payload.get("accuracy_after", 0.0)),
+            asr_before=(float(payload["asr_before"])
+                        if payload.get("asr_before") is not None else None),
+            asr_after=(float(payload["asr_after"])
+                       if payload.get("asr_after") is not None else None),
+            trigger_success_before={
+                str(k): float(v) for k, v
+                in dict(payload.get("trigger_success_before", {})).items()},
+            trigger_success_after={
+                str(k): float(v) for k, v
+                in dict(payload.get("trigger_success_after", {})).items()},
+            verdict_before=bool(payload.get("verdict_before", False)),
+            verdict_after=(bool(payload["verdict_after"])
+                           if payload.get("verdict_after") is not None
+                           else None),
+            repaired_cells_clear=bool(payload.get("repaired_cells_clear",
+                                                  True)),
+            guardrail=float(payload.get("guardrail", 0.0)),
+            guardrail_ok=bool(payload.get("guardrail_ok", True)),
+            rolled_back=bool(payload.get("rolled_back", False)),
+            guardrail_flip_rate=float(payload.get("guardrail_flip_rate", 0.2)),
+            unlearning=unlearning,
+            pruning=pruning,
+            seconds=float(payload.get("seconds", 0.0)),
+        )
+
+
+def flagged_triggers(detection: DetectionResult) -> List[ReversedTrigger]:
+    """The reversed triggers of the cells a detection actually flagged.
+
+    Pair-mode results select by flagged ``(source, target)`` cell; classic
+    results select by flagged class.
+    """
+    if detection.flagged_pairs:
+        flagged = set(detection.flagged_pairs)
+        return [t for t in detection.triggers if t.pair in flagged]
+    flagged_classes = set(detection.flagged_classes)
+    return [t for t in detection.triggers if t.target_class in flagged_classes]
+
+
+def _require_full_triggers(triggers: Sequence[ReversedTrigger],
+                           clean_data: Dataset) -> None:
+    spatial = clean_data.images.shape[-2:]
+    for trigger in triggers:
+        if tuple(trigger.pattern.shape[-2:]) != tuple(spatial):
+            raise ValueError(
+                f"Reversed trigger for cell {cell_label(trigger)} has shape "
+                f"{tuple(trigger.pattern.shape)} — repair needs full "
+                "pattern/mask arrays, but this looks like a compact store "
+                "record (norms only).  Re-run detection to obtain real "
+                "triggers.")
+
+
+def reversed_trigger_success(model: Module, trigger: ReversedTrigger,
+                             data: Dataset, batch_size: int = 128) -> float:
+    """Fraction of victim samples a reversed trigger flips to its target.
+
+    The attack-free ASR proxy: unconditional triggers stamp every non-target
+    sample, conditional triggers stamp their source class only.  0.0 when
+    the data holds no victims.
+    """
+    if trigger.source_class is not None:
+        mask = data.labels == int(trigger.source_class)
+    else:
+        mask = data.labels != int(trigger.target_class)
+    images = data.images[mask]
+    if len(images) == 0:
+        return 0.0
+    model.eval()
+    hits = 0
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            stamped = blend_images(images[start:start + batch_size],
+                                   trigger.pattern, trigger.mask)
+            preds = model(Tensor(stamped)).data.argmax(axis=1)
+            hits += int((preds == int(trigger.target_class)).sum())
+    return hits / len(images)
+
+
+def repair_model(model: Module, detection: DetectionResult,
+                 clean_data: Dataset,
+                 plan: Optional[RepairPlan] = None,
+                 detector=None,
+                 eval_data: Optional[Dataset] = None,
+                 attack=None,
+                 rng: Optional[np.random.Generator] = None) -> RepairReport:
+    """Repair ``model`` in place from a detection verdict, then verify.
+
+    Args:
+        model: The scanned model (mutated by the repair; restored when the
+            guardrail trips and the plan rolls back).
+        detection: A *full* detection result — its flagged cells supply the
+            ``(pattern, mask)`` pairs the repair stamps/prunes with.
+        clean_data: Clean samples driving unlearning batches and pruning
+            activation statistics.
+        plan: Strategy, budgets, and the accuracy guardrail.
+        detector: Optional detector instance for the post-repair re-scan
+            (same scan grid as ``detection``).
+        eval_data: Held-out data for the accuracy/ASR measurements
+            (defaults to ``clean_data``; a disjoint set gives honest
+            numbers).
+        attack: Optional ground-truth attack; when present the report
+            carries true ASR before/after.
+        rng: Randomness for the unlearning fine-tune.
+
+    Returns:
+        A :class:`RepairReport`; ``report.success`` is the headline verdict.
+    """
+    plan = plan or RepairPlan()
+    rng = rng or np.random.default_rng()
+    eval_data = eval_data if eval_data is not None else clean_data
+    start = time.perf_counter()
+
+    triggers = flagged_triggers(detection)
+    report = RepairReport(strategy=plan.strategy, detector=detection.detector,
+                          cells=[cell_label(t) for t in triggers],
+                          verdict_before=detection.is_backdoored,
+                          guardrail=plan.max_accuracy_drop,
+                          guardrail_flip_rate=plan.success_flip_rate)
+    report.accuracy_before = evaluate_accuracy(model, eval_data)
+    if attack is not None:
+        report.asr_before = evaluate_asr(model, eval_data, attack, rng=rng)
+    if not triggers:
+        report.accuracy_after = report.accuracy_before
+        report.asr_after = report.asr_before
+        report.seconds = time.perf_counter() - start
+        return report
+    _require_full_triggers(triggers, clean_data)
+    report.trigger_success_before = {
+        cell_label(t): reversed_trigger_success(model, t, eval_data)
+        for t in triggers}
+
+    snapshot = model.state_dict()  # state_dict() already copies every array
+    if plan.strategy in ("prune", "both"):
+        report.pruning = activation_differential_prune(
+            model, clean_data, triggers, config=plan.pruning)
+    if plan.strategy in ("unlearn", "both"):
+        report.unlearning = trigger_unlearn(
+            model, clean_data, triggers, config=plan.unlearning, rng=rng)
+    report.repaired = True
+
+    report.accuracy_after = evaluate_accuracy(model, eval_data)
+    if attack is not None:
+        report.asr_after = evaluate_asr(model, eval_data, attack, rng=rng)
+    report.trigger_success_after = {
+        cell_label(t): reversed_trigger_success(model, t, eval_data)
+        for t in triggers}
+    report.guardrail_ok = report.accuracy_drop <= plan.max_accuracy_drop
+    if not report.guardrail_ok and plan.rollback_on_guardrail:
+        model.load_state_dict(snapshot)
+        report.rolled_back = True
+    elif plan.rescan and detector is not None:
+        pairs = ([t.pair for t in detection.triggers]
+                 if detection.pair_anomaly_indices else None)
+        classes = (sorted({t.target_class for t in detection.triggers})
+                   if pairs is None else None)
+        rescan = detector.detect(model, classes=classes, pairs=pairs)
+        report.verdict_after = rescan.is_backdoored
+        if rescan.flagged_pairs:
+            repaired_pairs = {t.pair for t in triggers}
+            report.repaired_cells_clear = not (
+                repaired_pairs & set(rescan.flagged_pairs))
+        else:
+            repaired_classes = {t.target_class for t in triggers}
+            report.repaired_cells_clear = not (
+                repaired_classes & set(rescan.flagged_classes))
+    report.seconds = time.perf_counter() - start
+    return report

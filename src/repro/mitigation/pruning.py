@@ -1,0 +1,209 @@
+"""Activation-differential neuron pruning driven by the reversed trigger.
+
+A backdoored model routes its shortcut through a small set of units that
+fire hard on the trigger and barely at all on clean inputs (the
+fine-pruning observation of Liu et al., RAID 2018 — here made *targeted*
+by using the detector's reversed trigger instead of hoping dormant units
+coincide with the backdoor).  :func:`activation_differential_prune`
+measures, for every penultimate feature feeding the classifier head, its
+mean activation on clean inputs versus the same inputs stamped with each
+flagged reversed ``(pattern, mask)``, and zeroes the classifier-input
+weights of the units most disproportionately excited by the trigger.
+
+Pruning happens at the input of the model's final ``Linear`` (every model
+in the zoo ends in one): zeroing column ``j`` of the head's weight removes
+feature ``j``'s influence on every logit, is architecture-agnostic, and —
+unlike a forward-hook mask — survives a ``state_dict`` round trip, so a
+pruned checkpoint stays pruned after ``load_checkpoint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.detection import ReversedTrigger
+from ..core.trigger_optimizer import blend_images
+from ..data.dataset import Dataset
+from ..nn.layers import Linear, Module
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["PruningConfig", "PruningReport", "find_classifier_head",
+           "activation_differential_prune"]
+
+
+@dataclass
+class PruningConfig:
+    """Knobs of the activation-differential pruning pass."""
+
+    #: Upper bound on the fraction of penultimate units zeroed.  Strongly
+    #: trained backdoors spread their shortcut over tens of units, so the
+    #: budget must be large enough to take the whole pathway out.
+    max_prune_fraction: float = 0.1
+    #: A unit is prunable when its (triggered - clean) activation
+    #: differential exceeds ``mean + z_threshold * std`` over all units.
+    z_threshold: float = 1.5
+    #: Forward batch size for the activation measurements.
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_prune_fraction <= 1.0:
+            raise ValueError("max_prune_fraction must be in (0, 1].")
+        if self.z_threshold < 0:
+            raise ValueError("z_threshold must be non-negative.")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive.")
+
+
+@dataclass
+class PruningReport:
+    """What one :func:`activation_differential_prune` run zeroed."""
+
+    #: Dotted path of the classifier-head ``Linear`` whose inputs were pruned.
+    layer: str = ""
+    #: Number of penultimate features feeding the head.
+    units_total: int = 0
+    #: Indices of the zeroed units, ascending.
+    pruned_units: List[int] = field(default_factory=list)
+    #: Per-pruned-unit activation differential (same order as
+    #: ``pruned_units``).
+    differentials: List[float] = field(default_factory=list)
+
+    @property
+    def units_pruned(self) -> int:
+        """Number of units zeroed by the pass."""
+        return len(self.pruned_units)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload (embedded in repair reports/records)."""
+        return {
+            "layer": self.layer,
+            "units_total": int(self.units_total),
+            "pruned_units": [int(u) for u in self.pruned_units],
+            "differentials": [float(d) for d in self.differentials],
+        }
+
+
+def _named_modules(module: Module, prefix: str = ""):
+    yield prefix, module
+    for name, child in module._modules.items():
+        yield from _named_modules(child, f"{prefix}{name}." if prefix or name
+                                  else prefix)
+
+
+def find_classifier_head(model: Module) -> Tuple[str, Linear]:
+    """Locate the model's final ``Linear`` (the classifier head).
+
+    Returns:
+        ``(dotted_name, module)`` of the last ``Linear`` in traversal order
+        — for every architecture in the zoo that is the layer mapping
+        penultimate features to logits.
+
+    Raises:
+        ValueError: the model contains no ``Linear`` layer.
+    """
+    head: Optional[Tuple[str, Linear]] = None
+    for name, module in _named_modules(model):
+        if isinstance(module, Linear):
+            head = (name.rstrip("."), module)
+    if head is None:
+        raise ValueError("Model has no Linear layer to prune at.")
+    return head
+
+
+def _head_input_activations(model: Module, head: Linear, images: np.ndarray,
+                            batch_size: int) -> np.ndarray:
+    """Mean absolute activation per penultimate unit over ``images``.
+
+    The head's ``forward`` is temporarily shadowed with a recording wrapper
+    (restored in all cases), so no architecture needs to expose its feature
+    extractor explicitly.
+    """
+    captured: List[np.ndarray] = []
+    original_forward = head.forward
+
+    def recording_forward(x: Tensor) -> Tensor:
+        captured.append(np.abs(x.data).astype(np.float64))
+        return original_forward(x)
+
+    head.forward = recording_forward
+    try:
+        model.eval()
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                model(Tensor(images[start:start + batch_size]))
+    finally:
+        del head.forward
+    if not captured:
+        return np.zeros(head.in_features, dtype=np.float64)
+    totals = np.zeros(head.in_features, dtype=np.float64)
+    count = 0
+    for batch in captured:
+        totals += batch.sum(axis=0)
+        count += len(batch)
+    return totals / max(count, 1)
+
+
+def activation_differential_prune(model: Module, clean_data: Dataset,
+                                  triggers: Sequence[ReversedTrigger],
+                                  config: Optional[PruningConfig] = None
+                                  ) -> PruningReport:
+    """Zero the penultimate units the reversed triggers excite the most.
+
+    Args:
+        model: The flagged model, pruned **in place** (classifier-head
+            weight columns and, transitively, every logit's view of the
+            pruned features).
+        clean_data: Clean reference inputs; conditional triggers measure
+            their differential on their source class only.
+        triggers: Flagged reversed triggers with real ``pattern``/``mask``.
+        config: Pruning budget and threshold.
+
+    Returns:
+        A :class:`PruningReport` naming the pruned units.
+    """
+    config = config or PruningConfig()
+    triggers = list(triggers)
+    if not triggers:
+        raise ValueError("activation_differential_prune needs at least one "
+                         "reversed trigger.")
+    layer_name, head = find_classifier_head(model)
+    clean_mean = _head_input_activations(model, head, clean_data.images,
+                                         config.batch_size)
+    # Max differential across the flagged triggers: a unit serving any of
+    # the flagged cells' shortcuts is a pruning candidate.
+    differential = np.full(head.in_features, -np.inf, dtype=np.float64)
+    for trigger in triggers:
+        images = clean_data.images
+        base = clean_mean
+        if trigger.source_class is not None:
+            indices = clean_data.class_indices(int(trigger.source_class))
+            if len(indices):
+                images = clean_data.images[indices]
+                base = _head_input_activations(model, head, images,
+                                               config.batch_size)
+        stamped = blend_images(images, trigger.pattern, trigger.mask)
+        triggered_mean = _head_input_activations(model, head, stamped,
+                                                 config.batch_size)
+        differential = np.maximum(differential, triggered_mean - base)
+
+    spread = float(differential.std())
+    threshold = float(differential.mean()) + config.z_threshold * spread
+    candidates = np.where(differential > threshold)[0] if spread > 1e-12 \
+        else np.empty(0, dtype=np.int64)
+    budget = max(1, int(round(config.max_prune_fraction * head.in_features)))
+    if len(candidates) > budget:
+        order = np.argsort(differential[candidates])[::-1]
+        candidates = candidates[order[:budget]]
+    candidates = np.sort(candidates)
+
+    for unit in candidates:
+        head.weight.data[:, int(unit)] = 0.0
+    return PruningReport(
+        layer=layer_name,
+        units_total=int(head.in_features),
+        pruned_units=[int(u) for u in candidates],
+        differentials=[float(differential[u]) for u in candidates],
+    )

@@ -1,0 +1,189 @@
+"""Trigger-informed unlearning: fine-tune the backdoor away.
+
+The reversed ``(pattern, mask)`` pairs a detector recovers are not just
+evidence — they are the repair tool.  Following the patching recipe of
+Neural Cleanse (Wang et al., S&P 2019), :func:`trigger_unlearn` fine-tunes
+the model on clean batches where a fraction of the samples are *stamped*
+with each flagged reversed trigger but keep their **true** labels.  The
+gradient signal "trigger present, label unchanged" directly unlearns the
+shortcut ``trigger -> target`` that poisoning installed, while the
+unstamped remainder of every batch anchors clean accuracy.
+
+Stamping is scenario-aware: an unconditional trigger (``source_class is
+None``) is stamped onto samples of any class, while a per-``(source,
+target)`` trigger from a pair-mode scan (source-conditional or all-to-all
+verdicts) is stamped only onto samples of its source class — the only
+inputs for which that cell's shortcut fires, and therefore the only inputs
+that carry an unlearning gradient for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.detection import ReversedTrigger
+from ..core.trigger_optimizer import blend_images
+from ..data.dataset import DataLoader, Dataset
+from ..nn import functional as F
+from ..nn.layers import Module
+from ..nn.optim import SGD, Adam
+from ..nn.tensor import Tensor
+
+__all__ = ["UnlearningConfig", "UnlearningReport", "trigger_unlearn",
+           "cell_label"]
+
+
+def cell_label(trigger: ReversedTrigger) -> str:
+    """Stable ``"source->target"`` label for a scan cell (``*`` = any source).
+
+    The shared key format of every per-cell mapping in the repair reports
+    (``UnlearningReport.stamped``, ``RepairReport.trigger_success_*``), so
+    the CLI can join them.
+    """
+    source = "*" if trigger.source_class is None else int(trigger.source_class)
+    return f"{source}->{int(trigger.target_class)}"
+
+
+@dataclass
+class UnlearningConfig:
+    """Hyperparameters of the trigger-stamped unlearning fine-tune."""
+
+    #: Fine-tuning epochs over the clean set.
+    epochs: int = 3
+    batch_size: int = 32
+    #: Learning rate — deliberately below training rates so the fine-tune
+    #: removes the shortcut without re-fitting the clean features.
+    learning_rate: float = 1e-3
+    optimizer: str = "adam"
+    #: Fraction of each trigger's *eligible pool* stamped per batch: the
+    #: whole batch for unconditional triggers (split between them), the
+    #: batch's source-class samples for a conditional per-(source, target)
+    #: trigger.  The unstamped remainder anchors clean accuracy.
+    stamp_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive.")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive.")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError("optimizer must be 'sgd' or 'adam'.")
+        if not 0.0 < self.stamp_fraction <= 1.0:
+            raise ValueError("stamp_fraction must be in (0, 1].")
+
+
+@dataclass
+class UnlearningReport:
+    """What one :func:`trigger_unlearn` run did."""
+
+    #: Triggers the fine-tune stamped, as ``"source->target"`` cell labels
+    #: (``*`` encodes the unconditional source).
+    cells: List[str] = field(default_factory=list)
+    epochs: int = 0
+    steps: int = 0
+    #: Samples stamped per cell label across the whole run.
+    stamped: Dict[str, int] = field(default_factory=dict)
+    #: Mean training loss per epoch.
+    loss_history: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload (embedded in repair reports/records)."""
+        return {
+            "cells": list(self.cells),
+            "epochs": int(self.epochs),
+            "steps": int(self.steps),
+            "stamped": {str(k): int(v) for k, v in self.stamped.items()},
+            "loss_history": [float(v) for v in self.loss_history],
+        }
+
+
+def trigger_unlearn(model: Module, clean_data: Dataset,
+                    triggers: Sequence[ReversedTrigger],
+                    config: Optional[UnlearningConfig] = None,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> UnlearningReport:
+    """Fine-tune ``model`` so the reversed ``triggers`` stop flipping labels.
+
+    Args:
+        model: The flagged model, repaired **in place**.
+        clean_data: Clean samples (the detector's clean set works); their
+            true labels drive both the stamped and unstamped loss terms.
+        triggers: Flagged reversed triggers (real ``pattern``/``mask``
+            arrays, not compact store summaries).
+        config: Fine-tuning budget and stamping fraction.
+        rng: Randomness for batch shuffling and stamp selection.
+
+    Returns:
+        An :class:`UnlearningReport` with per-cell stamp counts and the
+        loss history.
+    """
+    config = config or UnlearningConfig()
+    rng = rng or np.random.default_rng()
+    triggers = list(triggers)
+    if not triggers:
+        raise ValueError("trigger_unlearn needs at least one reversed trigger.")
+    for trigger in triggers:
+        if trigger.pattern.shape[-2:] != clean_data.images.shape[-2:]:
+            raise ValueError(
+                f"Trigger for cell {cell_label(trigger)} has spatial shape "
+                f"{trigger.pattern.shape[-2:]}, clean data is "
+                f"{clean_data.images.shape[-2:]} — repair needs full "
+                "reversed triggers (compact store records carry norms only; "
+                "re-run detection).")
+
+    report = UnlearningReport(cells=[cell_label(t) for t in triggers],
+                              epochs=config.epochs,
+                              stamped={cell_label(t): 0 for t in triggers})
+    if config.optimizer == "adam":
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    else:
+        optimizer = SGD(model.parameters(), lr=config.learning_rate)
+    loader = DataLoader(clean_data, batch_size=config.batch_size, shuffle=True,
+                        rng=rng)
+    model.train()
+    model.requires_grad_(True)
+    for _ in range(config.epochs):
+        epoch_loss, batches = 0.0, 0
+        for images, labels in loader:
+            images = images.copy()
+            # Each trigger stamps stamp_fraction of its own eligible pool:
+            # conditional triggers draw from the batch's source-class
+            # samples (their shortcut only fires there, so drawing from the
+            # whole batch and filtering would starve them), unconditional
+            # triggers split the full batch between themselves.  A sample
+            # is stamped by at most one trigger per batch.
+            taken = np.zeros(len(images), dtype=bool)
+            unconditional = sum(t.source_class is None for t in triggers)
+            for trigger in triggers:
+                if trigger.source_class is not None:
+                    eligible = np.where((labels == int(trigger.source_class))
+                                        & ~taken)[0]
+                    count = int(round(config.stamp_fraction * len(eligible)))
+                    if len(eligible):
+                        count = max(count, 1)
+                else:
+                    eligible = np.where(~taken)[0]
+                    count = int(round(config.stamp_fraction * len(eligible)
+                                      / max(unconditional, 1)))
+                count = min(count, len(eligible))
+                if count == 0:
+                    continue
+                slot = rng.choice(eligible, size=count, replace=False)
+                images[slot] = blend_images(images[slot], trigger.pattern,
+                                            trigger.mask)
+                taken[slot] = True
+                report.stamped[cell_label(trigger)] += count
+            logits = model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+            batches += 1
+            report.steps += 1
+        report.loss_history.append(epoch_loss / max(batches, 1))
+    model.eval()
+    return report

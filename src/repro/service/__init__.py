@@ -16,12 +16,16 @@ The service layer turns the in-process detectors into throughput:
   cache keys in the parent and fans misses across a process pool through a
   prioritized :class:`JobQueue` with per-job timeouts and bounded retries,
   accumulating :class:`ServiceMetrics`;
+* :mod:`repro.service.repair` — cacheable detect -> repair -> verify jobs
+  (:class:`RepairRequest` / :func:`run_repairs`) wrapping
+  :mod:`repro.mitigation`, with atomically written repaired checkpoints and
+  :class:`RepairRecord` persistence in the shared store;
 * :mod:`repro.service.daemon` — :class:`WatchDaemon`, the long-running
   ``python -m repro watch`` loop over a checkpoint drop directory with a
-  JSON stats endpoint;
+  JSON stats endpoint and an opt-in auto-repair mode;
 * :mod:`repro.service.cli` — the ``python -m repro`` command line
-  (``scan`` / ``grid`` / ``report`` / ``experiment`` / ``watch`` /
-  ``store compact`` / ``store merge``).
+  (``scan`` / ``grid`` / ``repair`` / ``report`` / ``experiment`` /
+  ``watch`` / ``store compact`` / ``store merge``).
 """
 
 from .daemon import CheckpointWatcher, DaemonConfig, WatchDaemon
@@ -33,7 +37,15 @@ from .fingerprint import (
     scan_key,
 )
 from .locks import FileLock, LockTimeout, atomic_write
-from .records import ScanRecord, ScanRequest
+from .records import RepairRecord, ScanRecord, ScanRequest, record_from_dict
+from .repair import (
+    RepairRequest,
+    ResolvedRepair,
+    atomic_save_model,
+    execute_repair,
+    resolve_repair,
+    run_repairs,
+)
 from .scheduler import (
     JobQueue,
     JobTimeoutError,
@@ -55,6 +67,14 @@ __all__ = [
     "scan_key",
     "ScanRecord",
     "ScanRequest",
+    "RepairRecord",
+    "RepairRequest",
+    "ResolvedRepair",
+    "record_from_dict",
+    "resolve_repair",
+    "execute_repair",
+    "run_repairs",
+    "atomic_save_model",
     "ResolvedScan",
     "ScanScheduler",
     "ServiceMetrics",

@@ -6,20 +6,27 @@ Subcommands::
     python -m repro scan checkpoint.npz --scenario source_conditional \
         --source-classes 1,2
     python -m repro grid ckpt_a.npz ckpt_b.npz --detectors usb,nc --workers 2
+    python -m repro repair checkpoint.npz --strategy both \
+        --max-accuracy-drop 3
     python -m repro report --store scan_results.jsonl
     python -m repro experiment --table table5 --scale bench \
         --scenarios all_to_one,source_conditional,all_to_all
-    python -m repro watch drop_dir/ --store scans/ --detectors usb,nc
+    python -m repro watch drop_dir/ --store scans/ --detectors usb,nc \
+        --auto-repair
     python -m repro store compact --store scans/
     python -m repro store merge --store scans/ --source other_store/
 
 ``scan`` runs one detector on one saved model; ``grid`` fans a
-checkpoint x detector matrix across the worker pool; ``report`` renders the
-result store (plus the daemon's stats endpoint when one exists);
-``experiment`` trains and scans a paper table expanded along the scenario
-axis; ``watch`` runs the drop-directory daemon
-(:mod:`repro.service.daemon`); ``store compact`` / ``store merge`` maintain
-a store in place.
+checkpoint x detector matrix across the worker pool; ``repair`` runs the
+detect -> repair -> verify pipeline (:mod:`repro.mitigation`) on one or
+more checkpoints, writing repaired weights next to the originals;
+``report`` renders the result store (plus the daemon's stats endpoint when
+one exists); ``experiment`` trains and scans a paper table expanded along
+the scenario axis (``--repair-strategies`` turns it into a repair sweep
+with true ASR before/after); ``watch`` runs the drop-directory daemon
+(:mod:`repro.service.daemon`; ``--auto-repair`` repairs every flagged
+checkpoint automatically); ``store compact`` / ``store merge`` maintain a
+store in place.
 
 All commands share one result store (``--store``).  The default is the
 legacy single-file ``scan_results.jsonl``; point ``--store`` at a directory
@@ -43,9 +50,14 @@ from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
 from ..data import DATASET_SPECS
 from ..models import MODEL_BUILDERS
 from .daemon import DaemonConfig, WatchDaemon, default_stats_path
-from .records import KNOWN_DETECTORS, ScanRecord, ScanRequest
+from .records import KNOWN_DETECTORS, RepairRecord, ScanRecord, ScanRequest
+from .repair import RepairRequest, run_repairs
 from .scheduler import ScanScheduler
 from .store import open_store
+
+#: Repair strategies the CLI offers (mirrors repro.mitigation.STRATEGIES
+#: without importing the mitigation package at CLI-import time).
+REPAIR_STRATEGIES = ("unlearn", "prune", "both")
 
 __all__ = ["build_parser", "main"]
 
@@ -80,6 +92,31 @@ def _add_scan_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--anomaly-threshold", type=float, default=2.0,
                         help="MAD anomaly index above which a class is flagged.")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_repair_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the repair-strategy/budget flags of the ``repair`` command."""
+    parser.add_argument("--strategy", default="both",
+                        choices=list(REPAIR_STRATEGIES),
+                        help="Repair strategy: trigger-informed unlearning, "
+                             "activation-differential pruning, or both.")
+    parser.add_argument("--unlearn-epochs", type=int, default=3,
+                        help="Unlearning fine-tune epochs over the clean set.")
+    parser.add_argument("--learning-rate", type=float, default=1e-3,
+                        help="Unlearning fine-tune learning rate.")
+    parser.add_argument("--stamp-fraction", type=float, default=0.5,
+                        help="Fraction of each unlearning batch stamped with "
+                             "a reversed trigger.")
+    parser.add_argument("--prune-fraction", type=float, default=0.1,
+                        help="Max fraction of penultimate units pruned.")
+    parser.add_argument("--max-accuracy-drop", type=float, default=3.0,
+                        help="Clean-accuracy guardrail in percentage points; "
+                             "a worse repair is rolled back.")
+    parser.add_argument("--no-rescan", action="store_true",
+                        help="Skip the post-repair detector re-scan.")
+    parser.add_argument("--output-dir", default=None,
+                        help="Directory for repaired checkpoints (default: "
+                             "next to the originals, digest-suffixed).")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -124,6 +161,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scan_options(grid)
     _add_common(grid)
 
+    repair = commands.add_parser(
+        "repair", help="Detect, repair, and verify one or more checkpoints.")
+    repair.add_argument("checkpoints", nargs="+",
+                        help="One or more .npz checkpoints.")
+    repair.add_argument("--detector", default="usb",
+                        choices=list(KNOWN_DETECTORS))
+    _add_scan_options(repair)
+    _add_repair_options(repair)
+    _add_common(repair)
+
     report = commands.add_parser(
         "report", help="Render the result store (and daemon stats) as tables.")
     report.add_argument("--store", default=DEFAULT_STORE)
@@ -154,6 +201,12 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--stats", default=None,
                        help="Stats endpoint file (default: derived from "
                             "--store).")
+    watch.add_argument("--auto-repair", action="store_true",
+                       help="Automatically repair every checkpoint flagged "
+                            "as backdoored (queued behind the scans).")
+    watch.add_argument("--repair-strategy", default="both",
+                       choices=list(REPAIR_STRATEGIES),
+                       help="Strategy used by --auto-repair.")
     _add_scan_options(watch)
     watch.add_argument("--store", default=DEFAULT_STORE,
                        help="Result store; use a directory for the sharded "
@@ -195,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--workers", type=int, default=0,
                             help="Dispatch the (case, model) fleet across N "
                                  "worker processes; 0/1 runs serially.")
+    experiment.add_argument("--repair-strategies", type=str, default=None,
+                            help="Comma-separated repair strategies "
+                                 f"({','.join(REPAIR_STRATEGIES)}); when "
+                                 "set, run the detect->repair->verify sweep "
+                                 "and print true ASR before/after per "
+                                 "case x detector x strategy.")
     experiment.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
@@ -294,6 +353,60 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _repair_request_from_args(args: argparse.Namespace,
+                              checkpoint: str) -> RepairRequest:
+    """Build one :class:`RepairRequest` from parsed repair-option flags."""
+    output = None
+    if args.output_dir:
+        stem = os.path.splitext(os.path.basename(checkpoint))[0]
+        output = os.path.join(args.output_dir, f"{stem}.repaired.npz")
+    return RepairRequest(
+        scan=_request_from_args(args, checkpoint, args.detector),
+        strategy=args.strategy,
+        unlearn_epochs=args.unlearn_epochs,
+        learning_rate=args.learning_rate,
+        stamp_fraction=args.stamp_fraction,
+        prune_fraction=args.prune_fraction,
+        max_accuracy_drop=args.max_accuracy_drop / 100.0,
+        rescan=not args.no_rescan,
+        output=output)
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    """``repair``: detect -> repair -> verify one or more checkpoints."""
+    requests = [_repair_request_from_args(args, checkpoint)
+                for checkpoint in args.checkpoints]
+    scheduler = _make_scheduler(args)
+    records = run_repairs(scheduler, requests)
+    if args.as_json:
+        print(json.dumps([r.to_dict() | {"cache_hit": r.cache_hit}
+                          for r in records], indent=2))
+        return 0
+    from ..eval.reporting import format_repair_records
+    print(format_repair_records(records))
+    for record in records:
+        report = record.report
+        detail = [f"acc {100 * record.accuracy_before:.1f} -> "
+                  f"{100 * record.accuracy_after:.1f}"]
+        flips = report.get("trigger_success_after") or {}
+        if flips:
+            before = report.get("trigger_success_before") or {}
+            detail.append("flip " + ", ".join(
+                f"{cell}: {before.get(cell, 0.0):.2f}->{rate:.2f}"
+                for cell, rate in sorted(flips.items())))
+        if record.repaired_checkpoint:
+            detail.append(f"repaired -> {record.repaired_checkpoint}")
+        elif report.get("rolled_back"):
+            detail.append("guardrail tripped — weights rolled back")
+        elif not record.repaired:
+            detail.append("nothing flagged — no repair applied")
+        print(f"  {record.checkpoint}: {'; '.join(detail)}")
+    if not args.no_store:
+        print(f"store: {args.store} ({len(scheduler.store)} record(s); "
+              f"hits={scheduler.cache_hits} misses={scheduler.cache_misses})")
+    return 0
+
+
 def _load_stats(args: argparse.Namespace) -> Optional[dict]:
     """Read the daemon stats endpoint for ``report``, if one exists."""
     stats_path = args.stats or default_stats_path(args.store)
@@ -323,28 +436,42 @@ def _print_stats(stats: dict) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """``report``: render the store as a table, plus daemon stats if present."""
+    """``report``: render the store as tables, plus daemon stats if present.
+
+    Scan and repair records are rendered as separate tables (they share the
+    store but not a column layout).
+    """
     store = open_store(args.store)
-    records = store.records()
+    scans = store.scan_records()
+    repairs = store.repair_records()
     if args.detector:
-        records = [r for r in records
+        scans = [r for r in scans
+                 if r.detector.lower() == args.detector.lower()]
+        repairs = [r for r in repairs
                    if r.detector.lower() == args.detector.lower()]
     stats = _load_stats(args)
     if args.as_json:
-        payload = {"records": [r.to_dict() for r in records]}
+        payload = {"records": [r.to_dict() for r in scans],
+                   "repairs": [r.to_dict() for r in repairs]}
         if stats is not None:
             payload["stats"] = {k: v for k, v in stats.items() if k != "_path"}
         print(json.dumps(payload, indent=2))
         return 0
-    if not records:
+    if not scans and not repairs:
         print(f"{args.store}: no records"
               + (f" for detector '{args.detector}'" if args.detector else "")
               + ".")
-    else:
-        _print_records(records, as_json=False)
-        backdoored = sum(1 for r in records if r.is_backdoored)
-        print(f"{len(records)} record(s): {backdoored} backdoored, "
-              f"{len(records) - backdoored} clean.")
+    if scans:
+        _print_records(scans, as_json=False)
+        backdoored = sum(1 for r in scans if r.is_backdoored)
+        print(f"{len(scans)} record(s): {backdoored} backdoored, "
+              f"{len(scans) - backdoored} clean.")
+    if repairs:
+        from ..eval.reporting import format_repair_records
+        print(format_repair_records(repairs))
+        succeeded = sum(1 for r in repairs if r.success)
+        print(f"{len(repairs)} repair record(s): {succeeded} successful, "
+              f"{len(repairs) - succeeded} not.")
     if stats is not None:
         _print_stats(stats)
     return 0
@@ -372,13 +499,18 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         watch_dir=args.directory, store_path=args.store, detectors=detectors,
         poll_interval=args.poll_interval, job_timeout=args.job_timeout,
         max_retries=args.retries, settle_polls=args.settle_polls,
-        stats_path=args.stats, request_options=request_options)
+        stats_path=args.stats, request_options=request_options,
+        auto_repair=args.auto_repair,
+        repair_options={"strategy": args.repair_strategy})
     daemon = WatchDaemon(config)
     print(f"watching {args.directory} -> store {args.store} "
-          f"(detectors: {', '.join(detectors)}; stats: {daemon.stats_path})")
+          f"(detectors: {', '.join(detectors)}; "
+          f"auto-repair: {'on' if args.auto_repair else 'off'}; "
+          f"stats: {daemon.stats_path})")
     stats = daemon.run(max_iterations=args.max_iterations or None)
     print(f"served {stats['scans_served']} scan(s), "
           f"hit ratio {stats['cache_hit_ratio']:.2f}, "
+          f"{stats['repairs_completed']} repair(s), "
           f"{stats['failures']} failure(s).")
     return 0
 
@@ -402,14 +534,24 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    """``experiment``: train + scan one paper table along the scenario axis."""
+    """``experiment``: train + scan one paper table along the scenario axis.
+
+    With ``--repair-strategies`` the same table runs through the
+    detect -> repair -> verify sweep instead, printing true ASR
+    before/after per case x detector x strategy.
+    """
     from ..eval.experiments import (
         SCALES,
         TABLE_CONFIGS,
         run_experiment,
+        run_repair_sweep,
         scenario_grid_config,
     )
-    from ..eval.reporting import detection_table_columns, format_table
+    from ..eval.reporting import (
+        detection_table_columns,
+        format_table,
+        repair_sweep_columns,
+    )
 
     if args.table not in TABLE_CONFIGS:
         print(f"experiment: unknown table '{args.table}'. "
@@ -433,6 +575,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     config = scenario_grid_config(
         config, scenarios, cases=cases,
         source_classes=_parse_classes(args.source_classes))
+    if args.repair_strategies:
+        strategies = [s.strip() for s in args.repair_strategies.split(",")
+                      if s.strip()]
+        for strategy in strategies:
+            if strategy not in REPAIR_STRATEGIES:
+                print(f"experiment: unknown repair strategy '{strategy}'. "
+                      f"Available: {', '.join(REPAIR_STRATEGIES)}",
+                      file=sys.stderr)
+                return 2
+        if args.workers and args.workers > 1:
+            print("experiment: --repair-strategies runs the sweep serially; "
+                  f"--workers {args.workers} is ignored.", file=sys.stderr)
+        rows = run_repair_sweep(config, seed=args.seed, strategies=strategies)
+        if args.as_json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        print(format_table(rows, columns=repair_sweep_columns,
+                           title=f"{config.name} [{args.scale}] repair sweep "
+                                 f"({','.join(strategies)})"))
+        return 0
     scheduler = (ScanScheduler(workers=args.workers)
                  if args.workers and args.workers > 1 else None)
     result = run_experiment(config, seed=args.seed, scheduler=scheduler)
@@ -456,9 +618,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         Process exit code (0 success, 1 runtime error, 2 usage error).
     """
     args = build_parser().parse_args(argv)
-    handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "report": _cmd_report,
-                "experiment": _cmd_experiment, "watch": _cmd_watch,
-                "store": _cmd_store}
+    handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "repair": _cmd_repair,
+                "report": _cmd_report, "experiment": _cmd_experiment,
+                "watch": _cmd_watch, "store": _cmd_store}
     try:
         return handlers[args.command](args)
     except (OSError, KeyError, ValueError) as error:

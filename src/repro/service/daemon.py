@@ -35,7 +35,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..utils.logging import get_logger
 from .locks import atomic_write
-from .records import ScanRecord, ScanRequest
+from .records import RepairRecord, ScanRecord, ScanRequest, record_from_dict
+from .repair import RepairRequest, execute_repair, resolve_repair
 from .scheduler import (
     JobQueue,
     JobTimeoutError,
@@ -47,7 +48,7 @@ from .scheduler import (
 from .store import STATS_NAME, open_store
 
 __all__ = ["CheckpointWatcher", "DaemonConfig", "WatchDaemon", "ScanJob",
-           "default_stats_path", "run_scan_in_child"]
+           "RepairJob", "default_stats_path", "run_scan_in_child"]
 
 _LOG = get_logger("repro.service.daemon")
 
@@ -69,12 +70,22 @@ def default_stats_path(store_path: str) -> str:
     return text + ".stats.json"
 
 
+#: File-name patterns the watcher skips by default: the repair pipeline's
+#: own outputs (see :func:`repro.service.repair.default_repair_output`).
+#: Without this an auto-repair daemon would re-ingest every repaired
+#: checkpoint it writes into the drop directory — and, whenever a repaired
+#: model is flagged again, loop repairing its own outputs forever.
+DEFAULT_IGNORE_PATTERNS = ("*.repaired-*.npz",)
+
+
 class CheckpointWatcher:
     """Polls a directory for new or changed checkpoint files.
 
     Args:
         directory: Drop directory to watch (non-recursive).
         patterns: ``fnmatch`` patterns a file name must match.
+        ignore_patterns: Patterns to skip even when ``patterns`` match
+            (default: the repair pipeline's ``*.repaired-*.npz`` outputs).
         settle_polls: Consecutive polls a file's (mtime, size) signature must
             stay unchanged before it is reported — protects against scanning
             half-copied checkpoints.  ``0`` reports files immediately.
@@ -85,9 +96,12 @@ class CheckpointWatcher:
     """
 
     def __init__(self, directory: str, patterns: Sequence[str] = ("*.npz",),
-                 settle_polls: int = 1) -> None:
+                 settle_polls: int = 1,
+                 ignore_patterns: Sequence[str] = DEFAULT_IGNORE_PATTERNS
+                 ) -> None:
         self.directory = os.fspath(directory)
         self.patterns = tuple(patterns)
+        self.ignore_patterns = tuple(ignore_patterns)
         self.settle_polls = int(settle_polls)
         #: path -> (signature, polls the signature has been stable for).
         self._seen: Dict[str, Tuple[Tuple[int, int], int]] = {}
@@ -95,6 +109,9 @@ class CheckpointWatcher:
         self._reported: Dict[str, Tuple[int, int]] = {}
 
     def _matches(self, name: str) -> bool:
+        if any(fnmatch.fnmatch(name, pattern)
+               for pattern in self.ignore_patterns):
+            return False
         return any(fnmatch.fnmatch(name, pattern) for pattern in self.patterns)
 
     def poll(self) -> List[str]:
@@ -140,6 +157,14 @@ class ScanJob:
     detector: str
 
 
+@dataclass(frozen=True)
+class RepairJob:
+    """One queued auto-repair job: repair ``checkpoint`` flagged by ``detector``."""
+
+    checkpoint: str
+    detector: str
+
+
 @dataclass
 class DaemonConfig:
     """Everything ``python -m repro watch`` configures.
@@ -162,6 +187,16 @@ class DaemonConfig:
         scan_fn: Module-level callable mapping a resolved scan to a
             :class:`~repro.service.records.ScanRecord`; overridable for
             tests (must pickle, since it crosses a process boundary).
+        auto_repair: When True, every checkpoint a scan flags as backdoored
+            is queued for a detect -> repair -> verify job (behind the
+            remaining scans), with the repaired checkpoint written next to
+            the original and a :class:`~repro.service.records.RepairRecord`
+            persisted to the store.
+        repair_options: Extra :class:`~repro.service.repair.RepairRequest`
+            fields for auto-repair jobs (strategy, budgets, guardrail...).
+        repair_fn: Module-level callable mapping a resolved repair to a
+            :class:`~repro.service.records.RepairRecord`; overridable for
+            tests.
     """
 
     watch_dir: str
@@ -175,6 +210,9 @@ class DaemonConfig:
     stats_path: Optional[str] = None
     request_options: Dict[str, Any] = field(default_factory=dict)
     scan_fn: Callable[..., ScanRecord] = execute_resolved
+    auto_repair: bool = False
+    repair_options: Dict[str, Any] = field(default_factory=dict)
+    repair_fn: Callable[..., RepairRecord] = execute_repair
 
 
 def _child_entry(conn, scan_fn, resolved) -> None:
@@ -223,7 +261,7 @@ def run_scan_in_child(scan_fn: Callable[..., ScanRecord], resolved,
                                f"(exit code {process.exitcode}).") from None
         if status != "ok":
             raise RuntimeError(f"scan worker failed: {payload}")
-        return ScanRecord.from_dict(payload)
+        return record_from_dict(payload)
     finally:
         parent_conn.close()
         process.join()
@@ -259,6 +297,8 @@ class WatchDaemon:
         self.checkpoints_seen = 0
         #: Completed loop iterations (polls).
         self.iterations = 0
+        #: Auto-repair jobs completed (fresh computations, not cache hits).
+        self.repairs_completed = 0
 
     # ------------------------------------------------------------------ #
     # Queue handling
@@ -276,13 +316,39 @@ class WatchDaemon:
         return ScanRequest(checkpoint=job.checkpoint, detector=job.detector,
                            **self.config.request_options)
 
+    def _repair_request_for(self, job: RepairJob) -> RepairRequest:
+        """Build the :class:`RepairRequest` an auto-repair job resolves to."""
+        return RepairRequest(
+            scan=ScanRequest(checkpoint=job.checkpoint, detector=job.detector,
+                             **self.config.request_options),
+            **self.config.repair_options)
+
+    def _enqueue_repair(self, job: ScanJob) -> None:
+        """Queue an auto-repair for a flagged checkpoint, behind the scans."""
+        priority = len(self.config.detectors) + list(
+            self.config.detectors).index(job.detector) \
+            if job.detector in self.config.detectors \
+            else len(self.config.detectors)
+        self.queue.push(RepairJob(checkpoint=job.checkpoint,
+                                  detector=job.detector), priority=priority)
+        _LOG.info("queued auto-repair for %s [%s]", job.checkpoint,
+                  job.detector)
+
     def _process(self, queued: QueuedJob) -> None:
-        """Run one queued job: cache-check, scan in a child, retry on failure."""
-        job: ScanJob = queued.payload
+        """Run one queued job: cache-check, execute in a child, retry on failure.
+
+        Scan jobs that come back BACKDOORED enqueue an auto-repair job
+        (when ``auto_repair`` is on) behind the remaining scans.
+        """
+        job = queued.payload
+        is_repair = isinstance(job, RepairJob)
         metrics = self.scheduler.metrics
         store = self.scheduler.store
         try:
-            resolved = resolve_request(self._request_for(job))
+            if is_repair:
+                resolved = resolve_repair(self._repair_request_for(job))
+            else:
+                resolved = resolve_request(self._request_for(job))
         except Exception as error:  # unreadable checkpoint, bad metadata...
             _LOG.warning("%s [%s]: cannot resolve (%s)", job.checkpoint,
                          job.detector, error)
@@ -292,10 +358,15 @@ class WatchDaemon:
         if cached is not None:
             metrics.record_hit()
             _LOG.info("%s [%s]: cache hit", job.checkpoint, job.detector)
+            if not is_repair and self.config.auto_repair and \
+                    cached.is_backdoored:
+                self._enqueue_repair(job)
             return
         start = time.monotonic()
+        worker_fn = (self.config.repair_fn if is_repair
+                     else self.config.scan_fn)
         try:
-            record = run_scan_in_child(self.config.scan_fn, resolved,
+            record = run_scan_in_child(worker_fn, resolved,
                                        self.config.job_timeout)
         except Exception as error:
             if queued.attempts < self.config.max_retries:
@@ -313,9 +384,18 @@ class WatchDaemon:
         metrics.record_miss(time.monotonic() - start)
         if store is not None:
             store.add(record)
+        if is_repair:
+            self.repairs_completed += 1
+            _LOG.info("%s [%s] repair -> %s (%.1fs)", job.checkpoint,
+                      job.detector,
+                      "success" if record.success else "NOT repaired",
+                      record.seconds)
+            return
         _LOG.info("%s [%s] -> %s (%.1fs)", job.checkpoint, job.detector,
                   "BACKDOORED" if record.is_backdoored else "clean",
                   record.seconds)
+        if self.config.auto_repair and record.is_backdoored:
+            self._enqueue_repair(job)
 
     # ------------------------------------------------------------------ #
     # Loop
@@ -368,6 +448,8 @@ class WatchDaemon:
         payload.update({
             "queue_depth": len(self.queue),
             "checkpoints_seen": self.checkpoints_seen,
+            "repairs_completed": self.repairs_completed,
+            "auto_repair": bool(self.config.auto_repair),
             "iterations": self.iterations,
             "watch_dir": os.path.abspath(self.config.watch_dir),
             "store_path": os.path.abspath(self.config.store_path),

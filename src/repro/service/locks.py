@@ -122,13 +122,15 @@ class FileLock:
         self.release()
 
 
-def atomic_write(path: str, text: str, encoding: str = "utf-8") -> None:
+def atomic_write(path: str, text, encoding: str = "utf-8") -> None:
     """Replace ``path`` with ``text`` atomically (temp file + ``os.replace``).
 
     Args:
         path: Destination file; parent directories are created as needed.
-        text: Full new content.
-        encoding: Text encoding for the written bytes.
+        text: Full new content — ``str`` (written with ``encoding``) or
+            ``bytes`` (written verbatim; used for binary artifacts like the
+            repaired ``.npz`` checkpoints).
+        encoding: Text encoding when ``text`` is a string.
 
     Readers never observe a partially-written file: the temp file lives in
     the destination directory (same filesystem), is fsynced, and is swapped
@@ -139,8 +141,10 @@ def atomic_write(path: str, text: str, encoding: str = "utf-8") -> None:
     os.makedirs(directory, exist_ok=True)
     fd, tmp_path = tempfile.mkstemp(dir=directory,
                                     prefix=os.path.basename(path) + ".tmp.")
+    binary = isinstance(text, (bytes, bytearray))
     try:
-        with os.fdopen(fd, "w", encoding=encoding) as handle:
+        with os.fdopen(fd, "wb" if binary else "w",
+                       encoding=None if binary else encoding) as handle:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())

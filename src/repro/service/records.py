@@ -7,6 +7,11 @@ byte-for-byte later.  A :class:`ScanRecord` is the persisted outcome: the
 verdict plus the compact detection summary
 (:meth:`repro.core.detection.DetectionResult.to_compact_dict`), JSON-safe by
 construction so the result store can keep it as one JSONL line.
+
+Repair jobs (``python -m repro repair``) persist a :class:`RepairRecord`
+into the same store: its lines carry a ``"record": "repair"`` marker so
+:func:`record_from_dict` — the store's line decoder — can tell the two
+apart (scan lines predate the marker and decode as scans by default).
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
 from ..core.detection import DetectionResult
 
-__all__ = ["ScanRequest", "ScanRecord"]
+__all__ = ["ScanRequest", "ScanRecord", "RepairRecord", "record_from_dict"]
 
 #: Detectors the service knows how to build (see ``scheduler.build_detector``).
 KNOWN_DETECTORS = ("usb", "nc", "tabor")
@@ -172,3 +177,94 @@ class ScanRecord:
             "seconds": round(self.seconds, 2),
             "cached": "hit" if self.cache_hit else "miss",
         }
+
+
+@dataclass
+class RepairRecord:
+    """Persisted outcome of one detect -> repair -> verify job.
+
+    Shares the result store with :class:`ScanRecord` (same ``key``-addressed
+    cache semantics, distinguished on disk by the ``"record": "repair"``
+    marker).  ``report`` embeds the full
+    :meth:`repro.mitigation.RepairReport.to_dict` payload; the headline
+    fields are mirrored at the top level for tables and quick filters.
+    """
+
+    key: str
+    #: Fingerprint of the *pre-repair* weights (the cache-key anchor).
+    fingerprint: str
+    config_digest: str
+    checkpoint: str
+    model: str
+    dataset: str
+    detector: str
+    strategy: str
+    #: Cache key of the underlying scan configuration (provenance link).
+    scan_key: str = ""
+    #: Pre-repair verdict of the repair job's own detection pass.
+    was_backdoored: bool = False
+    #: True when a repair was applied (something was flagged).
+    repaired: bool = False
+    #: Headline verdict: backdoor neutralized within the guardrail.
+    success: bool = False
+    accuracy_before: float = 0.0
+    accuracy_after: float = 0.0
+    #: Where the repaired weights were written (``None`` when nothing was
+    #: repaired or the guardrail rolled the repair back).
+    repaired_checkpoint: Optional[str] = None
+    #: Fingerprint of the repaired weights (scan-cacheable as a new model).
+    repaired_fingerprint: Optional[str] = None
+    #: Full compact repair report (``RepairReport.to_dict()``).
+    report: Dict[str, Any] = field(default_factory=dict)
+    seconds: float = 0.0
+    created_at: str = ""
+    worker_pid: int = 0
+    #: Transient: served from the store instead of recomputed.
+    cache_hit: bool = False
+
+    #: Marker value stored under the ``"record"`` key of every line.
+    RECORD_TYPE = "repair"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload: one store line, ``"record": "repair"``-tagged."""
+        payload = dataclasses.asdict(self)
+        payload["record"] = self.RECORD_TYPE
+        payload["cache_hit"] = False  # transient — never persisted as hit
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RepairRecord":
+        """Rebuild a record from :meth:`to_dict` (unknown keys ignored)."""
+        data = dict(payload)
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def as_row(self) -> Dict[str, Any]:
+        """Table row used by the CLI ``repair`` / ``report`` views."""
+        verdict_after = self.report.get("verdict_after")
+        return {
+            "checkpoint": self.checkpoint,
+            "method": self.detector,
+            "strategy": self.strategy,
+            "before": "BACKDOORED" if self.was_backdoored else "clean",
+            "after": ("-" if verdict_after is None
+                      else "BACKDOORED" if verdict_after else "clean"),
+            "acc_before": round(100 * self.accuracy_before, 2),
+            "acc_after": round(100 * self.accuracy_after, 2),
+            "repaired": "yes" if self.repaired else "no",
+            "success": "yes" if self.success else "NO",
+            "seconds": round(self.seconds, 2),
+            "cached": "hit" if self.cache_hit else "miss",
+        }
+
+
+def record_from_dict(payload: Dict[str, Any]):
+    """Decode one store line into its record type.
+
+    Lines tagged ``"record": "repair"`` become :class:`RepairRecord`;
+    everything else (including pre-repair stores with no marker) decodes as
+    :class:`ScanRecord`.
+    """
+    if payload.get("record") == RepairRecord.RECORD_TYPE:
+        return RepairRecord.from_dict(payload)
+    return ScanRecord.from_dict(payload)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 import os
 import time
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass, field as dataclass_field
 from datetime import datetime, timezone
@@ -335,6 +336,14 @@ class ServiceMetrics:
 
     The scheduler updates these on every batch; the daemon publishes
     :meth:`snapshot` to its stats endpoint file after each loop iteration.
+
+    Latencies of recent computed scans live in a bounded window
+    (:data:`LATENCY_WINDOW`) kept **sorted** alongside the insertion-order
+    deque: :meth:`record_latency` is an O(log n) bisect search plus an O(n)
+    list shift within the bounded window, and every
+    :meth:`latency_percentile` / :meth:`snapshot` reads the percentile
+    straight off the sorted window in O(1) — no per-snapshot re-sort, which
+    matters for a daemon republishing stats after every loop iteration.
     """
 
     #: Requests answered (cache hits + fresh computations).
@@ -347,11 +356,25 @@ class ServiceMetrics:
     failures: int = 0
     #: Retry attempts performed (not counting first attempts).
     retries: int = 0
-    #: Wall-clock seconds of recent *computed* (non-cached) scans — a
-    #: bounded window (:data:`LATENCY_WINDOW`) so a long-running daemon's
-    #: memory and per-snapshot percentile cost stay O(1).
-    latencies: Deque[float] = dataclass_field(
-        default_factory=lambda: deque(maxlen=LATENCY_WINDOW))
+
+    def __post_init__(self) -> None:
+        """Set up the latency window (insertion order + sorted view)."""
+        self._window: Deque[float] = deque()
+        self._sorted: List[float] = []
+
+    @property
+    def latencies(self) -> Tuple[float, ...]:
+        """Recent computed-scan latencies, oldest first (read-only view)."""
+        return tuple(self._window)
+
+    def record_latency(self, seconds: float) -> None:
+        """Add one computed-scan latency to the bounded percentile window."""
+        value = float(seconds)
+        if len(self._window) >= LATENCY_WINDOW:
+            evicted = self._window.popleft()
+            del self._sorted[bisect_left(self._sorted, evicted)]
+        self._window.append(value)
+        insort(self._sorted, value)
 
     def record_hit(self) -> None:
         """Count one request served from the store."""
@@ -363,7 +386,7 @@ class ServiceMetrics:
         self.scans_served += 1
         self.cache_misses += 1
         if seconds is not None:
-            self.latencies.append(float(seconds))
+            self.record_latency(seconds)
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -371,10 +394,21 @@ class ServiceMetrics:
         return self.cache_hits / self.scans_served if self.scans_served else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) of computed-scan latencies."""
-        if not self.latencies:
+        """The ``q``-th percentile (0-100) of computed-scan latencies.
+
+        Linear interpolation between closest ranks (the same convention as
+        ``numpy.percentile``'s default), read from the pre-sorted window in
+        O(1).
+        """
+        data = self._sorted
+        if not data:
             return 0.0
-        return float(np.percentile(np.asarray(self.latencies), q))
+        rank = (len(data) - 1) * float(q) / 100.0
+        lower = int(np.floor(rank))
+        upper = int(np.ceil(rank))
+        if lower == upper:
+            return float(data[lower])
+        return float(data[lower] + (data[upper] - data[lower]) * (rank - lower))
 
     def snapshot(self) -> Dict[str, float]:
         """JSON-safe stats payload (the daemon's stats-endpoint schema)."""
@@ -603,7 +637,7 @@ class ScanScheduler:
             fresh = self.run_jobs(execute_resolved, [item for _, item in pending])
             for (index, _), record in zip(pending, fresh):
                 results[index] = record
-                self.metrics.latencies.append(float(record.seconds))
+                self.metrics.record_latency(float(record.seconds))
                 if self.store is not None:
                     self.store.add(record)
 

@@ -37,9 +37,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..utils.logging import get_logger
 from .locks import FileLock, atomic_write
-from .records import ScanRecord
+from .records import RepairRecord, ScanRecord, record_from_dict
 
 __all__ = ["ResultStore", "ShardedResultStore", "open_store", "STATS_NAME"]
+
+#: Record types a store line may decode to (see ``records.record_from_dict``).
+StoreRecord = Union[ScanRecord, RepairRecord]
 
 _LOG = get_logger("repro.service.store")
 
@@ -55,9 +58,11 @@ STORE_FORMAT = 1
 DEFAULT_SHARD_WIDTH = 2
 
 
-def _iter_jsonl_records(path: str) -> Iterator[ScanRecord]:
-    """Yield the parseable :class:`ScanRecord` lines of a JSONL file.
+def _iter_jsonl_records(path: str) -> Iterator[StoreRecord]:
+    """Yield the parseable record lines of a JSONL file.
 
+    Lines decode through :func:`repro.service.records.record_from_dict`, so
+    one file may mix :class:`ScanRecord` and :class:`RepairRecord` lines.
     Unreadable lines (torn final append, foreign garbage) are counted and
     skipped with one warning per file — a store replay never fails on them.
     """
@@ -68,14 +73,14 @@ def _iter_jsonl_records(path: str) -> Iterator[ScanRecord]:
             if not line:
                 continue
             try:
-                yield ScanRecord.from_dict(json.loads(line))
+                yield record_from_dict(json.loads(line))
             except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 skipped += 1
     if skipped:
         _LOG.warning("%s: skipped %d unreadable line(s).", path, skipped)
 
 
-def _encode(record: ScanRecord) -> bytes:
+def _encode(record: StoreRecord) -> bytes:
     """One canonical JSONL line (newline-terminated bytes) for ``record``."""
     return (json.dumps(record.to_dict(), sort_keys=True) + "\n").encode("utf-8")
 
@@ -108,7 +113,7 @@ class ResultStore:
 
     def __init__(self, path: str) -> None:
         self.path = os.fspath(path)
-        self._index: Dict[str, ScanRecord] = {}
+        self._index: Dict[str, StoreRecord] = {}
         self._replay()
 
     # ------------------------------------------------------------------ #
@@ -124,7 +129,7 @@ class ResultStore:
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
-    def lookup(self, key: str) -> Optional[ScanRecord]:
+    def lookup(self, key: str) -> Optional[StoreRecord]:
         """Latest record stored under ``key``, or ``None``."""
         return self._index.get(key)
 
@@ -136,18 +141,26 @@ class ResultStore:
         """Number of distinct keys in the store."""
         return len(self._index)
 
-    def records(self) -> List[ScanRecord]:
+    def records(self) -> List[StoreRecord]:
         """All indexed records (one per key, latest wins), insertion-ordered."""
         return list(self._index.values())
 
-    def __iter__(self) -> Iterator[ScanRecord]:
+    def scan_records(self) -> List[ScanRecord]:
+        """Only the :class:`ScanRecord` entries of :meth:`records`."""
+        return [r for r in self.records() if isinstance(r, ScanRecord)]
+
+    def repair_records(self) -> List[RepairRecord]:
+        """Only the :class:`RepairRecord` entries of :meth:`records`."""
+        return [r for r in self.records() if isinstance(r, RepairRecord)]
+
+    def __iter__(self) -> Iterator[StoreRecord]:
         """Iterate over :meth:`records`."""
         return iter(self.records())
 
     # ------------------------------------------------------------------ #
     # Writes
     # ------------------------------------------------------------------ #
-    def add(self, record: ScanRecord) -> None:
+    def add(self, record: StoreRecord) -> None:
         """Append ``record`` to the log and index it."""
         directory = os.path.dirname(os.path.abspath(self.path))
         if directory:
@@ -155,7 +168,7 @@ class ResultStore:
         _append_line(self.path, _encode(record))
         self._index[record.key] = record
 
-    def add_all(self, records: Iterable[ScanRecord]) -> None:
+    def add_all(self, records: Iterable[StoreRecord]) -> None:
         """Append every record in ``records`` (see :meth:`add`)."""
         for record in records:
             self.add(record)
@@ -234,7 +247,7 @@ class ShardedResultStore:
                  lock_timeout: Optional[float] = 30.0) -> None:
         self.path = os.fspath(path)
         self.lock_timeout = lock_timeout
-        self._index: Dict[str, ScanRecord] = {}
+        self._index: Dict[str, StoreRecord] = {}
         #: shard file name -> (mtime_ns, size) signature at last replay.
         self._shard_state: Dict[str, Tuple[int, int]] = {}
         self.shard_width = self._load_or_init_manifest(int(shard_width))
@@ -321,7 +334,7 @@ class ShardedResultStore:
     # ------------------------------------------------------------------ #
     # Reads
     # ------------------------------------------------------------------ #
-    def lookup(self, key: str) -> Optional[ScanRecord]:
+    def lookup(self, key: str) -> Optional[StoreRecord]:
         """Latest record stored under ``key``, or ``None``.
 
         A miss re-checks the one shard that could hold the key, so records
@@ -342,19 +355,27 @@ class ShardedResultStore:
         self.refresh()
         return len(self._index)
 
-    def records(self) -> List[ScanRecord]:
+    def records(self) -> List[StoreRecord]:
         """All records (one per key, latest wins) after a full refresh."""
         self.refresh()
         return list(self._index.values())
 
-    def __iter__(self) -> Iterator[ScanRecord]:
+    def scan_records(self) -> List[ScanRecord]:
+        """Only the :class:`ScanRecord` entries of :meth:`records`."""
+        return [r for r in self.records() if isinstance(r, ScanRecord)]
+
+    def repair_records(self) -> List[RepairRecord]:
+        """Only the :class:`RepairRecord` entries of :meth:`records`."""
+        return [r for r in self.records() if isinstance(r, RepairRecord)]
+
+    def __iter__(self) -> Iterator[StoreRecord]:
         """Iterate over :meth:`records`."""
         return iter(self.records())
 
     # ------------------------------------------------------------------ #
     # Writes
     # ------------------------------------------------------------------ #
-    def add(self, record: ScanRecord) -> None:
+    def add(self, record: StoreRecord) -> None:
         """Append ``record`` to its shard (lock + single ``O_APPEND`` write).
 
         The shard's replay signature is deliberately *not* refreshed here:
@@ -370,7 +391,7 @@ class ShardedResultStore:
             _append_line(path, _encode(record))
         self._index[record.key] = record
 
-    def add_all(self, records: Iterable[ScanRecord]) -> None:
+    def add_all(self, records: Iterable[StoreRecord]) -> None:
         """Append every record in ``records`` (see :meth:`add`)."""
         for record in records:
             self.add(record)
@@ -395,7 +416,7 @@ class ShardedResultStore:
         for name in self.shard_names():
             path = self._shard_path(name)
             with self._shard_lock(name):
-                latest: Dict[str, ScanRecord] = {}
+                latest: Dict[str, StoreRecord] = {}
                 lines = 0
                 for record in _iter_jsonl_records(path):
                     latest[record.key] = record

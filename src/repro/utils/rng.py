@@ -9,6 +9,7 @@ mirroring the paper's "different random seeds for every trained model".
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator
 
 import numpy as np
@@ -24,14 +25,26 @@ def seeded_rng(seed: int) -> np.random.Generator:
 def derive_rng(rng: np.random.Generator, tag: str) -> np.random.Generator:
     """Derive a child generator from ``rng`` keyed by a string ``tag``.
 
-    The same parent state and tag always yield the same child stream, which
+    The same parent seed and tag always yield the same child stream, which
     keeps sub-components reproducible even when the call order around them
-    changes.
+    changes.  Derivation reads the parent's originating
+    :class:`numpy.random.SeedSequence` (entropy + spawn key) and extends its
+    spawn key with a hash of ``tag`` — the parent's state is *not* consumed,
+    so deriving children in any order (or interleaving derivations with
+    parent draws) leaves every stream, including the parent's, unchanged.
     """
-    tag_entropy = np.frombuffer(tag.encode("utf-8"), dtype=np.uint8)
-    seed_material = rng.integers(0, 2 ** 31 - 1)
-    seq = np.random.SeedSequence([int(seed_material), *tag_entropy.tolist()])
-    return np.random.default_rng(seq)
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        raise TypeError(
+            "derive_rng needs a generator backed by a numpy SeedSequence "
+            "(e.g. from numpy.random.default_rng); got bit generator "
+            f"{type(rng.bit_generator).__name__} without one.")
+    digest = hashlib.sha256(tag.encode("utf-8")).digest()
+    tag_words = np.frombuffer(digest[:16], dtype=np.uint32)
+    child = np.random.SeedSequence(
+        entropy=seed_seq.entropy,
+        spawn_key=(*seed_seq.spawn_key, *(int(w) for w in tag_words)))
+    return np.random.default_rng(child)
 
 
 def spawn_rngs(seed: int, count: int) -> Iterator[np.random.Generator]:

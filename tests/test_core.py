@@ -19,6 +19,7 @@ from repro.core import (
     targeted_error_rate,
 )
 from repro.core.detection import DetectionResult, ReversedTrigger
+from repro.core.uap import UAPResult
 from repro.data import make_synthetic_dataset
 from repro.models import BasicCNN
 from repro.nn import Tensor
@@ -278,6 +279,52 @@ class TestUSBDetector:
         usb.seed_uaps(usb.last_uaps)
         second = usb.detect(model, classes=[0, 1])
         assert len(second.triggers) == len(first.triggers)
+
+    def test_cross_model_uap_reuse_end_to_end(self, tiny_setup):
+        # Paper §4.4 amortization: UAPs recovered on model A seed model B's
+        # Alg. 2 directly, skipping Alg. 1 on B entirely.
+        model_a, dataset = tiny_setup
+        clean = dataset.subset(range(32))
+        model_b = BasicCNN(in_channels=dataset.image_shape[0], num_classes=4,
+                           image_size=dataset.image_shape[1],
+                           conv_channels=(6, 12), hidden_dim=32,
+                           rng=np.random.default_rng(99))
+        detector_a = USBDetector(clean, USBConfig(
+            uap=TargetedUAPConfig(max_passes=1),
+            optimization=TriggerOptimizationConfig(iterations=5)),
+            rng=np.random.default_rng(0))
+        detector_a.detect(model_a, classes=[0, 1])
+        assert set(detector_a.last_uaps) == {0, 1}
+
+        detector_b = USBDetector(clean, USBConfig(
+            uap=TargetedUAPConfig(max_passes=1),
+            optimization=TriggerOptimizationConfig(iterations=5)),
+            rng=np.random.default_rng(1))
+        detector_b.seed_uaps(detector_a.last_uaps)
+        result = detector_b.detect(model_b, classes=[0, 1])
+        assert len(result.triggers) == 2
+        # B skipped Alg. 1: its recorded UAPs are exactly A's, not fresh ones.
+        for target in (0, 1):
+            np.testing.assert_array_equal(
+                detector_b.last_uaps[target].perturbation,
+                detector_a.last_uaps[target].perturbation)
+
+    def test_seed_uaps_rejects_mismatched_shape(self, tiny_setup):
+        model, dataset = tiny_setup
+        clean = dataset.subset(range(16))
+        usb = USBDetector(clean, USBConfig(
+            uap=TargetedUAPConfig(max_passes=1),
+            optimization=TriggerOptimizationConfig(iterations=5)),
+            rng=np.random.default_rng(0))
+        usb.detect(model, classes=[0])
+        foreign = UAPResult(target_class=0,
+                            perturbation=np.zeros((3, 32, 32),
+                                                  dtype=np.float32),
+                            error_rate=0.9, passes=1)
+        with pytest.raises(ValueError, match="input shape"):
+            usb.seed_uaps({0: foreign})
+        # the valid seeds were not partially installed
+        usb.seed_uaps(usb.last_uaps)  # same-shape reseed still accepted
 
     def test_random_init_ablation_flag(self, tiny_setup):
         model, dataset = tiny_setup

@@ -20,13 +20,17 @@ from repro.service import (
     DaemonConfig,
     JobQueue,
     JobTimeoutError,
+    RepairRecord,
+    ScanRecord,
     ScanScheduler,
+    ServiceMetrics,
     ShardedResultStore,
     WatchDaemon,
     execute_resolved,
 )
 from repro.service.cli import main as cli_main
 from repro.service.daemon import default_stats_path, run_scan_in_child
+from repro.service.scheduler import LATENCY_WINDOW
 
 
 # ---------------------------------------------------------------------- #
@@ -63,6 +67,32 @@ def _fail_once_then_double(payload):
             handle.write("attempted")
         raise RuntimeError("transient")
     return value * 2
+
+
+def _fake_backdoored_scan(resolved):
+    """A scan that instantly claims BACKDOORED (auto-repair trigger)."""
+    from repro.core.detection import DetectionResult
+    detection = DetectionResult(detector="nc", triggers=[],
+                                anomaly_indices={0: 9.0}, flagged_classes=[0],
+                                is_backdoored=True)
+    return ScanRecord.from_detection(
+        key=resolved.key, fingerprint=resolved.fingerprint,
+        config_digest=resolved.config_digest,
+        checkpoint=resolved.request.checkpoint, model=resolved.model,
+        dataset=resolved.dataset, detection=detection)
+
+
+def _fake_repair(resolved):
+    """A repair worker stub returning an instant successful RepairRecord."""
+    return RepairRecord(
+        key=resolved.key, fingerprint=resolved.scan.fingerprint,
+        config_digest=resolved.config_digest,
+        checkpoint=resolved.request.scan.checkpoint,
+        model=resolved.scan.model, dataset=resolved.scan.dataset,
+        detector=resolved.request.scan.detector,
+        strategy=resolved.request.strategy, was_backdoored=True,
+        repaired=True, success=True, accuracy_before=0.9,
+        accuracy_after=0.9, report={"strategy": resolved.request.strategy})
 
 
 def _save_tiny(path, seed=0):
@@ -289,6 +319,106 @@ class TestWatchDaemon:
             tmp_path / "storedir" / "stats.json")
         assert default_stats_path(str(tmp_path / "s.jsonl")) == str(
             tmp_path / "s.jsonl.stats.json")
+
+
+class TestAutoRepair:
+    def _auto_daemon(self, tmp_path):
+        return _daemon(tmp_path, auto_repair=True,
+                       scan_fn=_fake_backdoored_scan, repair_fn=_fake_repair,
+                       repair_options={"strategy": "unlearn",
+                                       "rescan": False})
+
+    def test_flagged_checkpoint_is_auto_repaired(self, tmp_path):
+        daemon = self._auto_daemon(tmp_path)
+        _save_tiny(tmp_path / "drop" / "model.npz", seed=1)
+        daemon.run(max_iterations=2)
+
+        store = ShardedResultStore(str(tmp_path / "store"))
+        scans = store.scan_records()
+        repairs = store.repair_records()
+        assert len(scans) == 1 and scans[0].is_backdoored
+        assert len(repairs) == 1
+        assert repairs[0].strategy == "unlearn" and repairs[0].success
+        assert repairs[0].key != scans[0].key
+
+        stats = json.loads(open(daemon.stats_path).read())
+        assert stats["repairs_completed"] == 1
+        assert stats["auto_repair"] is True
+        assert stats["scans_served"] == 2  # the scan + the repair job
+        assert stats["failures"] == 0
+
+    def test_auto_repair_cache_hit_on_rerun(self, tmp_path):
+        _save_tiny(tmp_path / "drop" / "model.npz", seed=1)
+        self._auto_daemon(tmp_path).run(max_iterations=2)
+        rerun = self._auto_daemon(tmp_path)
+        rerun.run(max_iterations=2)
+        stats = rerun.stats()
+        # scan hit re-enqueues the repair, which is itself a hit
+        assert stats["cache_hits"] == 2 and stats["cache_misses"] == 0
+        assert stats["repairs_completed"] == 0  # nothing recomputed
+        assert len(ShardedResultStore(str(tmp_path / "store"))) == 2
+
+    def test_repaired_outputs_are_not_reingested(self, tmp_path):
+        # Regression: the repair pipeline writes *.repaired-<digest>.npz
+        # next to the original; a watcher that picked those up would make
+        # an auto-repair daemon loop on its own outputs forever.
+        drop = tmp_path / "drop"
+        drop.mkdir()
+        _save_tiny(drop / "model.npz", seed=1)
+        _save_tiny(drop / "model.repaired-abcd1234.npz", seed=1)
+        watcher = CheckpointWatcher(str(drop), settle_polls=0)
+        assert [os.path.basename(p) for p in watcher.poll()] == ["model.npz"]
+
+    def test_no_auto_repair_for_clean_models(self, tmp_path):
+        # The real tiny scan comes back clean -> no repair is queued.
+        daemon = _daemon(tmp_path, job_timeout=120.0, auto_repair=True,
+                         repair_options={"strategy": "unlearn"})
+        _save_tiny(tmp_path / "drop" / "model.npz", seed=1)
+        daemon.run(max_iterations=2)
+        store = ShardedResultStore(str(tmp_path / "store"))
+        assert len(store.scan_records()) == 1
+        assert not store.scan_records()[0].is_backdoored
+        assert store.repair_records() == []
+        assert daemon.stats()["repairs_completed"] == 0
+
+
+class TestServiceMetrics:
+    def test_percentiles_pinned_on_known_sequence(self):
+        metrics = ServiceMetrics()
+        for value in (40.0, 10.0, 30.0, 20.0):
+            metrics.record_latency(value)
+        assert metrics.latency_percentile(50) == pytest.approx(25.0)
+        assert metrics.latency_percentile(95) == pytest.approx(38.5)
+        assert metrics.latency_percentile(0) == pytest.approx(10.0)
+        assert metrics.latency_percentile(100) == pytest.approx(40.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["latency_p50_s"] == pytest.approx(25.0)
+        assert snapshot["latency_p95_s"] == pytest.approx(38.5)
+
+    def test_percentiles_match_numpy_convention(self):
+        rng = np.random.default_rng(0)
+        metrics = ServiceMetrics()
+        values = rng.uniform(0.01, 5.0, size=257)
+        for value in values:
+            metrics.record_latency(float(value))
+        for q in (10, 50, 90, 95, 99):
+            assert metrics.latency_percentile(q) == pytest.approx(
+                float(np.percentile(values, q)))
+
+    def test_window_is_bounded_and_evicts_oldest(self):
+        metrics = ServiceMetrics()
+        total = LATENCY_WINDOW + 100
+        values = np.random.default_rng(1).uniform(0.1, 9.0, size=total)
+        for value in values:
+            metrics.record_latency(float(value))
+        assert len(metrics.latencies) == LATENCY_WINDOW
+        window = values[-LATENCY_WINDOW:]
+        assert metrics.latencies == tuple(float(v) for v in window)
+        assert metrics.latency_percentile(95) == pytest.approx(
+            float(np.percentile(window, 95)))
+
+    def test_empty_window_is_zero(self):
+        assert ServiceMetrics().latency_percentile(50) == 0.0
 
 
 # ---------------------------------------------------------------------- #

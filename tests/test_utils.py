@@ -140,6 +140,44 @@ class TestRNG:
         b = derive_rng(seeded_rng(2), "x").integers(0, 10**6)
         assert a == b
 
+    def test_derive_rng_order_independent(self):
+        # Regression: deriving the same tags in a different order must yield
+        # identical child streams (the documented guarantee; the old
+        # implementation consumed parent state, so order changed everything).
+        parent_a = seeded_rng(7)
+        uap_first = derive_rng(parent_a, "uap").integers(0, 10**6, size=8)
+        nc_second = derive_rng(parent_a, "nc").integers(0, 10**6, size=8)
+
+        parent_b = seeded_rng(7)
+        nc_first = derive_rng(parent_b, "nc").integers(0, 10**6, size=8)
+        uap_second = derive_rng(parent_b, "uap").integers(0, 10**6, size=8)
+
+        np.testing.assert_array_equal(uap_first, uap_second)
+        np.testing.assert_array_equal(nc_first, nc_second)
+
+    def test_derive_rng_does_not_consume_parent_state(self):
+        untouched = seeded_rng(9)
+        derived_from = seeded_rng(9)
+        derive_rng(derived_from, "a")
+        derive_rng(derived_from, "b")
+        np.testing.assert_array_equal(untouched.integers(0, 10**6, size=8),
+                                      derived_from.integers(0, 10**6, size=8))
+
+    def test_derive_rng_interleaved_draws_keep_children_stable(self):
+        parent_a = seeded_rng(11)
+        parent_a.integers(0, 10**6, size=5)  # parent draws around the derive
+        child_a = derive_rng(parent_a, "t").integers(0, 10**6, size=4)
+        parent_b = seeded_rng(11)
+        child_b = derive_rng(parent_b, "t").integers(0, 10**6, size=4)
+        np.testing.assert_array_equal(child_a, child_b)
+
+    def test_derive_rng_rejects_seedless_generator(self):
+        class _NoSeedSeq:
+            bit_generator = object()  # exposes no usable seed_seq
+
+        with pytest.raises(TypeError):
+            derive_rng(_NoSeedSeq(), "x")
+
 
 class TestLogging:
     def test_get_logger_singleton_handler(self):

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the service layer and the detection core.
+"""Docstring-coverage gate for the service/mitigation layers and detection core.
 
-Every public module, class, function, and method in ``src/repro/service/``
-and ``src/repro/core/detection.py`` must carry a docstring (public = name
-not starting with ``_``; dunders and private helpers are exempt).  Run by
-``make docs-check`` and CI; exits 1 listing every miss.
+Every public module, class, function, and method in ``src/repro/service/``,
+``src/repro/mitigation/``, and ``src/repro/core/detection.py`` must carry a
+docstring (public = name not starting with ``_``; dunders and private
+helpers are exempt).  Run by ``make docs-check`` and CI; exits 1 listing
+every miss.
 
 Usage::
 
@@ -23,6 +24,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 DEFAULT_TARGETS = [
     os.path.join(_ROOT, "src", "repro", "service"),
+    os.path.join(_ROOT, "src", "repro", "mitigation"),
     os.path.join(_ROOT, "src", "repro", "core", "detection.py"),
 ]
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Generate (or verify) ``docs/api.md`` from the public docstring surface.
 
-The reference covers the curated ``__all__`` of the four public packages —
-``repro.core``, ``repro.attacks``, ``repro.service``, ``repro.eval`` — and is
+The reference covers the curated ``__all__`` of the five public packages —
+``repro.core``, ``repro.attacks``, ``repro.mitigation``, ``repro.service``,
+``repro.eval`` — and is
 rendered purely from live docstrings and signatures, so it can never drift
 from the code without ``--check`` (wired into ``make docs-check`` / CI)
 failing.
@@ -29,7 +30,8 @@ import sys
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
-PACKAGES = ["repro.core", "repro.attacks", "repro.service", "repro.eval"]
+PACKAGES = ["repro.core", "repro.attacks", "repro.mitigation",
+            "repro.service", "repro.eval"]
 
 HEADER = """\
 # API reference
@@ -38,7 +40,7 @@ HEADER = """\
      Regenerate with `make docs` (tools/gen_api_docs.py);
      `make docs-check` fails CI when this file is stale. -->
 
-The public surface of the four user-facing packages, rendered from live
+The public surface of the five user-facing packages, rendered from live
 docstrings.  See [architecture.md](architecture.md) for how the layers fit
 together and [ops.md](ops.md) for running the scanning service.
 """
