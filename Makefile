@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke
+.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -50,6 +50,12 @@ daemon-smoke:
 ## true ASR drops >0.9 -> <0.2 within the clean-accuracy guardrail.
 repair-smoke:
 	$(PYTHON) tools/repair_smoke.py
+
+## Mega-batch parity smoke (fast; tiny model, 4 classes): flagged classes
+## identical across sequential/batched/mega, exact match without cascade.
+mega-smoke:
+	$(PYTHON) -m pytest -q tests/test_mega_batch.py -k \
+	  "TestModeParity or TestPoolMechanics"
 
 ## Smoke-run every example end to end (slowest last; ~minutes on a CPU).
 examples:

@@ -7,11 +7,15 @@ optimization iterations (and its UAP can be reused across similar models).
 The benchmark reproduces the *relative* ordering with the bench-scale
 iteration budgets, which keep the paper's NC:TABOR:USB iteration ratios.
 
-This file is also the detection-speed regression harness: it times every
-detector in both the sequential per-class mode and the batched multi-class
-mode, runs a full 10-class USB scan both ways (checking the verdicts agree),
-and writes the numbers to ``BENCH_detection.json`` at the repo root so future
-PRs can track the speed trajectory.
+This file is also the detection-speed regression harness.  It times every
+detector in three inversion modes — sequential per-class, batched per-model,
+and the cross-model **mega** work-item pool (shared clean-activation cache +
+coarse-to-fine budget cascade, see :mod:`repro.core.mega`) — runs the full
+10-class USB scan in all three (checking the verdicts agree), and writes the
+numbers to ``BENCH_detection.json`` at the repo root so future PRs can track
+the speed trajectory.  Joint modes interleave classes in one tensor program,
+so their payload entries carry only the measured total (no fabricated
+per-class split).
 """
 
 import json
@@ -24,7 +28,13 @@ from bench_config import BENCH_SEED
 from conftest import save_result
 
 from repro.attacks import BadNetAttack
-from repro.core import TargetedUAPConfig, TriggerOptimizationConfig, USBConfig, USBDetector
+from repro.core import (
+    MegaCascadeConfig,
+    TargetedUAPConfig,
+    TriggerOptimizationConfig,
+    USBConfig,
+    USBDetector,
+)
 from repro.data import load_imagenet_subset, stratified_sample
 from repro.defenses import (
     NeuralCleanseConfig,
@@ -50,13 +60,13 @@ _USB_ITERS = 30
 #: 50-clean-images configuration; two runs gave 30.6 s and 32.3 s — the
 #: smaller is recorded to keep the speedup claim conservative).  The seed
 #: code cannot be run by this harness and absolute seconds do not transfer
-#: across hosts, so the default gate decomposes the >=3x claim into its two
-#: measurable factors: the kernel-layer speedup carried by *both* current
-#: paths (seed / current-sequential, measured 30.6 s / 10.175 s = 3.007 in
+#: across hosts, so the speedup gates decompose each claim into its two
+#: measurable factors: the kernel-layer speedup carried by *every* current
+#: path (seed / current-sequential, measured 30.6 s / 10.175 s = 3.007 in
 #: the same session — a host-portable ratio of two CPU-bound NumPy runs) and
-#: the live batched/sequential ratio.  On the reference host itself, setting
+#: the live mode/sequential ratio.  On the reference host itself, setting
 #: ``REPRO_BENCH_REFERENCE_HOST=1`` additionally enforces the absolute
-#: wall-clock bound.
+#: wall-clock bounds.
 _SEED_SEQUENTIAL_10CLASS_S = 30.6
 _SESSION_SEQUENTIAL_10CLASS_S = 10.175
 _SEED_OVER_SEQUENTIAL = _SEED_SEQUENTIAL_10CLASS_S / _SESSION_SEQUENTIAL_10CLASS_S
@@ -101,66 +111,85 @@ def _run():
 
     clean = stratified_sample(test, 50, np.random.default_rng(seed + 3))
 
-    # Table 7 measurement (4 classes): sequential per-class, then batched.
-    report_seq = measure_detection_times(
-        trained.model, _make_detectors(clean, np.random.default_rng(seed + 4)),
-        classes=range(4), case_name="badnet_20x20_equiv")
-    report_bat = measure_detection_times(
-        trained.model, _make_detectors(clean, np.random.default_rng(seed + 4)),
-        classes=range(4), case_name="badnet_20x20_equiv_batched", batched=True)
+    # Table 7 measurement (4 classes): sequential per-class, then the two
+    # joint engines.  The detectors are rebuilt with the same RNG per mode so
+    # every mode optimizes the same cells.
+    reports = {}
+    for mode in ("sequential", "batched", "mega"):
+        reports[mode] = measure_detection_times(
+            trained.model,
+            _make_detectors(clean, np.random.default_rng(seed + 4)),
+            classes=range(4), case_name=f"badnet_20x20_equiv_{mode}",
+            mode=mode)
 
-    # Full 10-class USB scan, both modes, with verdict comparison.  Wall
-    # clocks take the best of two runs: on a single shared core, interference
-    # noise is one-sided, and the detectors are fully seeded so repeated runs
-    # produce identical verdicts.
-    seq_seconds = float("inf")
-    bat_seconds = float("inf")
-    for _ in range(2):
-        t0 = time.perf_counter()
-        detection_seq = _usb(clean, seed + 5).detect(trained.model,
-                                                     classes=range(10),
-                                                     batched=False)
-        seq_seconds = min(seq_seconds, time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        detection_bat = _usb(clean, seed + 5).detect(trained.model,
-                                                     classes=range(10),
-                                                     batched=True)
-        bat_seconds = min(bat_seconds, time.perf_counter() - t0)
+    # Full 10-class USB scan in all three modes, with verdict comparison.
+    # Wall clocks take the best of two runs: on a single shared core,
+    # interference noise is one-sided, and the detectors are fully seeded so
+    # repeated runs produce identical verdicts.
+    seconds = {}
+    detections = {}
+    mega_stats = {}
+    for mode in ("sequential", "batched", "mega"):
+        best = float("inf")
+        for _ in range(2):
+            detector = _usb(clean, seed + 5)
+            t0 = time.perf_counter()
+            detections[mode] = detector.detect(trained.model,
+                                               classes=range(10), mode=mode)
+            best = min(best, time.perf_counter() - t0)
+            if mode == "mega":
+                mega_stats = dict(detector.last_mega_stats)
+        seconds[mode] = best
 
-    return (report_seq, report_bat, detection_seq, detection_bat,
-            seq_seconds, bat_seconds)
+    return reports, detections, seconds, mega_stats
 
 
 def _timing_payload(report):
     payload = {}
     for timing in report.timings:
-        payload[timing.detector] = {
-            "mode": "batched" if timing.batched else "sequential",
+        entry = {
+            "mode": timing.mode,
             "total_s": round(timing.total_seconds, 3),
             "mean_per_class_s": round(timing.mean_seconds, 3),
-            "per_class_s": {str(cls): round(sec, 3)
-                            for cls, sec in sorted(
-                                timing.per_class_seconds.items())},
         }
+        # Joint modes interleave classes: only the total is a measurement,
+        # so per-class figures appear for sequential timings alone.
+        if timing.per_class_seconds:
+            entry["per_class_s"] = {str(cls): round(sec, 3)
+                                    for cls, sec in sorted(
+                                        timing.per_class_seconds.items())}
+        payload[timing.detector] = entry
     return payload
 
 
-def test_table7_detection_time(benchmark, results_dir):
-    (report_seq, report_bat, detection_seq, detection_bat,
-     seq_seconds, bat_seconds) = benchmark.pedantic(_run, rounds=1, iterations=1)
+def _index_diff(a, b):
+    return max(abs(a.anomaly_indices[c] - b.anomaly_indices[c])
+               for c in a.anomaly_indices)
 
-    table = format_rows(report_seq.rows() + report_bat.rows(),
-                        title="Table 7 — per-class detection time (bench scale)")
+
+def test_table7_detection_time(benchmark, results_dir):
+    reports, detections, seconds, mega_stats = benchmark.pedantic(
+        _run, rounds=1, iterations=1)
+
+    table = format_rows(
+        reports["sequential"].rows() + reports["batched"].rows()
+        + reports["mega"].rows(),
+        title="Table 7 — per-class detection time (bench scale)")
     save_result(results_dir, "table7_timing", table)
 
-    speedup_vs_sequential = seq_seconds / max(bat_seconds, 1e-9)
+    seq_seconds = seconds["sequential"]
+    bat_seconds = seconds["batched"]
+    mega_seconds = seconds["mega"]
     seed_estimate_s = seq_seconds * _SEED_OVER_SEQUENTIAL
-    speedup_vs_seed = seed_estimate_s / max(bat_seconds, 1e-9)
-    anomaly_diff = max(
-        abs(detection_seq.anomaly_indices[c] - detection_bat.anomaly_indices[c])
-        for c in detection_seq.anomaly_indices)
-    by_seq = {t.detector: t for t in report_seq.timings}
-    by_bat = {t.detector: t for t in report_bat.timings}
+    speedup_vs_seed_batched = seed_estimate_s / max(bat_seconds, 1e-9)
+    speedup_vs_seed_mega = seed_estimate_s / max(mega_seconds, 1e-9)
+    anomaly_diff_batched = _index_diff(detections["sequential"],
+                                       detections["batched"])
+    anomaly_diff_mega = _index_diff(detections["sequential"],
+                                    detections["mega"])
+    by_mode = {mode: {t.detector: t for t in reports[mode].timings}
+               for mode in reports}
+    cascade_defaults = MegaCascadeConfig()
     payload = {
         "case": "efficientnet_b0_w025_badnet_imagenet28",
         "bench_scale": {
@@ -170,23 +199,55 @@ def test_table7_detection_time(benchmark, results_dir):
             "iterations": {"NC": _NC_ITERS, "TABOR": _TABOR_ITERS,
                            "USB": _USB_ITERS},
         },
-        "table7_sequential": _timing_payload(report_seq),
-        "table7_batched": _timing_payload(report_bat),
+        "table7_sequential": _timing_payload(reports["sequential"]),
+        "table7_batched": _timing_payload(reports["batched"]),
+        "table7_mega": _timing_payload(reports["mega"]),
         "table7_speedup_batched_vs_sequential": {
-            name: round(by_seq[name].total_seconds
-                        / max(by_bat[name].total_seconds, 1e-9), 2)
-            for name in by_seq
+            name: round(by_mode["sequential"][name].total_seconds
+                        / max(by_mode["batched"][name].total_seconds, 1e-9), 2)
+            for name in by_mode["sequential"]
+        },
+        "table7_speedup_mega_vs_batched": {
+            name: round(by_mode["batched"][name].total_seconds
+                        / max(by_mode["mega"][name].total_seconds, 1e-9), 2)
+            for name in by_mode["sequential"]
         },
         "usb_10class_scan": {
             "seed_sequential_reference_s": _SEED_SEQUENTIAL_10CLASS_S,
             "seed_estimate_s": round(seed_estimate_s, 3),
             "sequential_s": round(seq_seconds, 3),
             "batched_s": round(bat_seconds, 3),
-            "speedup_vs_sequential": round(speedup_vs_sequential, 2),
-            "speedup_vs_seed": round(speedup_vs_seed, 2),
-            "flagged_sequential": detection_seq.flagged_classes,
-            "flagged_batched": detection_bat.flagged_classes,
-            "anomaly_index_max_abs_diff": round(anomaly_diff, 4),
+            "speedup_vs_sequential": round(seq_seconds
+                                           / max(bat_seconds, 1e-9), 2),
+            "speedup_vs_seed": round(speedup_vs_seed_batched, 2),
+            "flagged_sequential": detections["sequential"].flagged_classes,
+            "flagged_batched": detections["batched"].flagged_classes,
+            "anomaly_index_max_abs_diff": round(anomaly_diff_batched, 4),
+        },
+        "mega_batched": {
+            "mega_s": round(mega_seconds, 3),
+            "speedup_vs_seed": round(speedup_vs_seed_mega, 2),
+            "speedup_vs_sequential": round(seq_seconds
+                                           / max(mega_seconds, 1e-9), 2),
+            "speedup_vs_batched": round(bat_seconds
+                                        / max(mega_seconds, 1e-9), 2),
+            "flagged_mega": detections["mega"].flagged_classes,
+            "anomaly_index_max_abs_diff": round(anomaly_diff_mega, 4),
+            "pool_stats": {key: int(value)
+                           for key, value in sorted(mega_stats.items())
+                           if isinstance(value, (int, np.integer))},
+            "cascade": {
+                "coarse_fraction": cascade_defaults.coarse_fraction,
+                "min_coarse_iterations": cascade_defaults.min_coarse_iterations,
+                "finalist_margin": cascade_defaults.finalist_margin,
+                "shrinkage_calibration": cascade_defaults.shrinkage_calibration,
+            },
+            "nc_mega_vs_batched": round(
+                by_mode["batched"]["NC"].total_seconds
+                / max(by_mode["mega"]["NC"].total_seconds, 1e-9), 2),
+            "tabor_mega_vs_batched": round(
+                by_mode["batched"]["TABOR"].total_seconds
+                / max(by_mode["mega"]["TABOR"].total_seconds, 1e-9), 2),
         },
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
@@ -196,18 +257,32 @@ def test_table7_detection_time(benchmark, results_dir):
     print(f"[saved to {BENCH_JSON}]")
 
     # The paper's shape: USB is cheaper per class than both baselines.
-    assert by_seq["USB"].mean_seconds < by_seq["TABOR"].mean_seconds
+    assert (by_mode["sequential"]["USB"].mean_seconds
+            < by_mode["sequential"]["TABOR"].mean_seconds)
     # Fast-path acceptance: the batched 10-class scan is >= 3x faster than
-    # the seed revision's sequential scan.  Portably this is the product of
-    # the session-measured kernel-layer factor (3.007, see constant above)
-    # and the live batched/sequential ratio, so the enforceable content on an
-    # arbitrary host is "batched loses none of the kernel-layer speedup";
-    # the absolute bound is enforced on the reference host via the env flag.
-    assert speedup_vs_seed >= 3.0
+    # the seed revision's sequential scan, and the mega scan >= 8x.
+    # Portably these are products of the session-measured kernel-layer
+    # factor (3.007, see constant above) and the live mode/sequential ratio,
+    # so the enforceable content on an arbitrary host is "the joint engines
+    # lose none of the kernel-layer speedup"; the absolute bounds are
+    # enforced on the reference host via the env flag.
+    assert speedup_vs_seed_batched >= 3.0
+    assert speedup_vs_seed_mega >= 8.0
     if os.environ.get("REPRO_BENCH_REFERENCE_HOST"):
         assert bat_seconds <= _SEED_SEQUENTIAL_10CLASS_S / 3.0
-    # Verdict equivalence between the two execution modes: identical flagged
-    # classes, anomaly indices within tolerance (the batched Alg. 1 consumes
-    # the RNG differently, so small per-class drift is expected).
-    assert detection_bat.flagged_classes == detection_seq.flagged_classes
-    assert anomaly_diff <= 0.5
+        assert mega_seconds <= _SEED_SEQUENTIAL_10CLASS_S / 8.0
+    # The baselines gain at least 2x from the cascade + pool at bench scale
+    # (they run enough iterations for the coarse sweep to pay off).
+    assert payload["mega_batched"]["nc_mega_vs_batched"] >= 2.0
+    assert payload["mega_batched"]["tabor_mega_vs_batched"] >= 2.0
+    # Verdict equivalence across execution modes: identical flagged classes,
+    # anomaly indices within tolerance.  The batched Alg. 1 consumes the RNG
+    # differently (small drift); mega additionally stops non-finalist cells
+    # at the coarse budget, so its tolerance is wider — the cascade
+    # guarantees verdicts, not norms, for cells far from the MAD threshold.
+    assert (detections["batched"].flagged_classes
+            == detections["sequential"].flagged_classes)
+    assert (detections["mega"].flagged_classes
+            == detections["sequential"].flagged_classes)
+    assert anomaly_diff_batched <= 0.5
+    assert anomaly_diff_mega <= 1.0

@@ -2,10 +2,20 @@
 
 from .deepfool import TargetedDeepFoolConfig, targeted_deepfool, targeted_deepfool_step
 from .detection import (
+    INVERSION_MODES,
     DetectionResult,
     ReversedTrigger,
     TriggerReverseEngineeringDetector,
+    detect_mega_fleet,
     mad_anomaly_indices,
+)
+from .mega import (
+    CleanActivationCache,
+    MegaCascadeConfig,
+    MegaInversionPool,
+    MegaPoolConfig,
+    MegaTask,
+    run_mega_inversion,
 )
 from .trigger_optimizer import (
     BatchedTriggerMaskOptimizer,
@@ -29,6 +39,14 @@ __all__ = [
     "TargetedDeepFoolConfig",
     "targeted_deepfool",
     "targeted_deepfool_step",
+    "INVERSION_MODES",
+    "detect_mega_fleet",
+    "CleanActivationCache",
+    "MegaCascadeConfig",
+    "MegaInversionPool",
+    "MegaPoolConfig",
+    "MegaTask",
+    "run_mega_inversion",
     "DetectionResult",
     "ReversedTrigger",
     "TriggerReverseEngineeringDetector",

@@ -50,6 +50,13 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..nn.layers import Module
 from ..utils.logging import get_logger
+from .mega import (
+    CleanActivationCache,
+    MegaCascadeConfig,
+    MegaPoolConfig,
+    MegaTask,
+    run_mega_inversion,
+)
 from .trigger_optimizer import (
     BatchedTriggerMaskOptimizer,
     TriggerOptimizationConfig,
@@ -61,7 +68,24 @@ __all__ = [
     "DetectionResult",
     "mad_anomaly_indices",
     "TriggerReverseEngineeringDetector",
+    "detect_mega_fleet",
+    "INVERSION_MODES",
 ]
+
+#: Inversion execution modes accepted by :meth:`detect` (and the service's
+#: ``--inversion-mode`` flag): the sequential per-class loop, the class-batched
+#: engine, and the work-item-pool mega path with its budget cascade.
+INVERSION_MODES = ("sequential", "batched", "mega")
+
+
+def _resolve_inversion_mode(mode: Optional[str], batched: bool) -> str:
+    """Fold the legacy ``batched`` flag and the new ``mode`` into one value."""
+    if mode is None:
+        return "batched" if batched else "sequential"
+    if mode not in INVERSION_MODES:
+        raise ValueError(f"Unknown inversion mode '{mode}'. "
+                         f"Available: {', '.join(INVERSION_MODES)}")
+    return mode
 
 #: A (source, target) scan cell.  ``source`` is ``None`` for the classic
 #: unconditional scan (trigger optimized over clean data from all classes);
@@ -334,6 +358,19 @@ class TriggerReverseEngineeringDetector:
         self.clean_data = clean_data
         self.anomaly_threshold = anomaly_threshold
         self._rng = rng or np.random.default_rng()
+        #: Mega-path wiring (all optional).  The scanning service attaches a
+        #: shared :class:`~repro.core.mega.CleanActivationCache` plus stable
+        #: keys (model fingerprint / clean-pool digest); standalone callers
+        #: fall back to per-object tokens and per-run caches.
+        self.activation_cache: Optional[CleanActivationCache] = None
+        self.mega_cascade: Optional[MegaCascadeConfig] = None
+        self.mega_pool: Optional[MegaPoolConfig] = None
+        self.model_key: Optional[str] = None
+        self.clean_key: Optional[str] = None
+        #: Stats of the most recent mega inversion run (pool/cascade/cache
+        #: counters), for benchmarks and tests.
+        self.last_mega_stats: Dict[str, object] = {}
+        self._active_source: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     # Interface for subclasses
@@ -367,6 +404,78 @@ class TriggerReverseEngineeringDetector:
         ]
 
     # ------------------------------------------------------------------ #
+    # Mega path: work-item pool + budget cascade
+    # ------------------------------------------------------------------ #
+    def _mega_inits(self, model: Module, target_classes: List[int]):
+        """Per-class starting points for the mega work-item pool.
+
+        Subclasses return ``(inits, config, prescreen_norms)`` — the
+        per-class ``(pattern, mask)`` starts, the trigger-optimization
+        config, and optional per-class seed norms for cascade prescreening
+        (``None`` when the detector has no seed-size signal).  The base
+        implementation returns ``None``, meaning no mega path.
+        """
+        return None
+
+    def _mega_task(self, model: Module, target_classes: Sequence[int],
+                   selection_group: Optional[str] = None
+                   ) -> Optional[MegaTask]:
+        """Build this detector's :class:`~repro.core.mega.MegaTask`."""
+        prepared = self._mega_inits(model, list(target_classes))
+        if prepared is None:
+            return None
+        inits, config, prescreen_norms = prepared
+        return MegaTask(
+            model=model,
+            images=self.clean_data.images,
+            target_classes=target_classes,
+            inits=inits,
+            config=config,
+            anomaly_threshold=self.anomaly_threshold,
+            prescreen_norms=prescreen_norms,
+            selection_group=selection_group,
+            model_key=self.model_key,
+            images_key=self._images_key(),
+            label=self.name,
+        )
+
+    def _images_key(self) -> Optional[str]:
+        """Activation-cache key of the current clean pool.
+
+        ``None`` (no service-supplied ``clean_key``) lets the cache fall back
+        to a live-object token.  Source-restricted pools (pair mode) get a
+        distinct suffixed key so cached forwards never mix across sources.
+        """
+        if self.clean_key is None:
+            return None
+        if self._active_source is not None:
+            return f"{self.clean_key}@src{self._active_source}"
+        return self.clean_key
+
+    def reverse_engineer_mega(self, model: Module,
+                              target_classes: Sequence[int]
+                              ) -> Optional[List[ReversedTrigger]]:
+        """Invert all ``target_classes`` through the mega work-item pool.
+
+        Returns ``None`` when the detector provides no mega starting points
+        (:meth:`_mega_inits`), in which case :meth:`detect` falls back to the
+        class-batched engine.
+        """
+        task = self._mega_task(model, target_classes)
+        if task is None:
+            return None
+        self.last_mega_stats = {}
+        [results] = run_mega_inversion(
+            [task], cascade=self.mega_cascade, pool=self.mega_pool,
+            cache=self.activation_cache, stats=self.last_mega_stats)
+        return [
+            ReversedTrigger(target_class=int(target), pattern=result.pattern,
+                            mask=result.mask, success_rate=result.success_rate,
+                            iterations=result.iterations)
+            for target, result in zip(task.target_classes, results)
+        ]
+
+    # ------------------------------------------------------------------ #
     # Scenario support: source-restricted clean data
     # ------------------------------------------------------------------ #
     @contextmanager
@@ -391,10 +500,12 @@ class TriggerReverseEngineeringDetector:
         original = self.clean_data
         self.clean_data = original.subset(
             indices, name=f"{original.name}@src{int(source)}")
+        self._active_source = int(source)
         try:
             yield
         finally:
             self.clean_data = original
+            self._active_source = None
 
     # ------------------------------------------------------------------ #
     # Outer detection loop
@@ -402,12 +513,16 @@ class TriggerReverseEngineeringDetector:
     def detect(self, model: Module,
                classes: Optional[Sequence[int]] = None,
                batched: bool = True,
-               pairs: Optional[Sequence[ScanPair]] = None) -> DetectionResult:
+               pairs: Optional[Sequence[ScanPair]] = None,
+               mode: Optional[str] = None) -> DetectionResult:
         """Run reverse engineering for every class and apply the outlier test.
 
-        With ``batched=True`` (the default) the per-class optimizations are
-        fused into one mega-batch run when the detector supports it; pass
-        ``batched=False`` to force the sequential per-class loop.
+        ``mode`` selects the inversion engine (:data:`INVERSION_MODES`):
+        ``"sequential"`` runs the per-class loop, ``"batched"`` the stacked
+        class-batched engine, ``"mega"`` the work-item pool with its budget
+        cascade.  When ``mode`` is omitted the legacy ``batched`` flag picks
+        between sequential and batched.  Modes degrade gracefully: a detector
+        without the requested fast path falls back to the next one down.
 
         ``pairs`` switches to the scenario-aware pair mode: each ``(source,
         target)`` cell is reverse-engineered with the clean data restricted
@@ -415,18 +530,24 @@ class TriggerReverseEngineeringDetector:
         runs over the pair norms, and the result carries per-pair anomaly
         indices and flagged pairs alongside the per-class aggregation.
         """
+        mode = _resolve_inversion_mode(mode, batched)
         model.eval()
         was_grad = [p.requires_grad for p in model.parameters()]
         model.requires_grad_(False)
         try:
             if pairs is not None:
-                return self._detect_pairs(model, pairs, batched)
+                return self._detect_pairs(model, pairs, mode)
             class_list = list(classes) if classes is not None else list(
                 range(self.clean_data.num_classes))
             triggers: Optional[List[ReversedTrigger]] = None
             start = time.perf_counter()
             used_batched = False
-            if batched and len(class_list) > 1:
+            used_mega = False
+            if mode == "mega" and len(class_list) > 1:
+                triggers = self.reverse_engineer_mega(model, class_list)
+                used_mega = triggers is not None
+            if (triggers is None and mode != "sequential"
+                    and len(class_list) > 1):
                 triggers = self.reverse_engineer_batch(model, class_list)
                 used_batched = triggers is not None
             if triggers is None:
@@ -440,39 +561,30 @@ class TriggerReverseEngineeringDetector:
                                self.name, target, trigger.l1_norm,
                                trigger.success_rate, trigger.seconds)
             total_seconds = time.perf_counter() - start
-            if used_batched:
+            if used_batched or used_mega:
                 # Joint optimization amortizes the wall clock across classes.
                 per_class = total_seconds / max(len(triggers), 1)
                 for trigger in triggers:
                     trigger.seconds = per_class
 
-            norms = [t.l1_norm for t in triggers]
-            position_indices = mad_anomaly_indices(norms)
-            anomaly_indices = {
-                class_list[pos]: value for pos, value in position_indices.items()
-            }
-            flagged = [cls for cls, value in anomaly_indices.items()
-                       if value > self.anomaly_threshold]
-            return DetectionResult(
-                detector=self.name,
-                triggers=triggers,
-                anomaly_indices=anomaly_indices,
-                flagged_classes=sorted(flagged),
-                is_backdoored=bool(flagged),
-                seconds_total=total_seconds,
-                metadata={"batched": 1.0 if used_batched else 0.0},
-            )
+            metadata = {"batched": 1.0 if (used_batched or used_mega) else 0.0,
+                        "mega": 1.0 if used_mega else 0.0}
+            return _classic_result(self.name, class_list, triggers,
+                                   self.anomaly_threshold, total_seconds,
+                                   metadata)
         finally:
             for param, flag in zip(model.parameters(), was_grad):
                 param.requires_grad = flag
 
     def _detect_pairs(self, model: Module, pairs: Sequence[ScanPair],
-                      batched: bool) -> DetectionResult:
+                      mode: str) -> DetectionResult:
         """Pair-mode outer loop (grad flags already disabled by ``detect``).
 
         Pairs are grouped by source so each group shares one clean-data
         restriction and, when the detector implements it, one mega-batch
-        optimization across the group's targets.
+        optimization across the group's targets.  In mega mode all source
+        groups become tasks of *one* work-item pool sharing a single MAD
+        selection group, so the cascade sees the full pair grid at once.
         """
         pair_list: List[ScanPair] = []
         groups: Dict[Optional[int], List[int]] = {}
@@ -488,35 +600,70 @@ class TriggerReverseEngineeringDetector:
 
         start = time.perf_counter()
         used_batched = False
+        used_mega = False
         by_pair: Dict[ScanPair, ReversedTrigger] = {}
-        for source, targets in groups.items():
-            group_start = time.perf_counter()
-            with self._restricted_clean(source):
-                group_triggers: Optional[List[ReversedTrigger]] = None
-                if batched and len(targets) > 1:
-                    group_triggers = self.reverse_engineer_batch(model, targets)
-                    group_batched = group_triggers is not None
-                    used_batched = used_batched or group_batched
-                if group_triggers is None:
-                    group_batched = False
-                    group_triggers = []
-                    for target in targets:
-                        t0 = time.perf_counter()
-                        trigger = self.reverse_engineer(model, target)
-                        trigger.seconds = time.perf_counter() - t0
-                        group_triggers.append(trigger)
-            if group_batched:
-                per_target = (time.perf_counter() - group_start) / len(targets)
-                for trigger in group_triggers:
-                    trigger.seconds = per_target
-            for target, trigger in zip(targets, group_triggers):
-                trigger.source_class = source
-                by_pair[(source, target)] = trigger
-                _LOG.debug("%s pair (%s -> %d): L1=%.3f success=%.2f",
-                           self.name, "*" if source is None else source,
-                           target, trigger.l1_norm, trigger.success_rate)
+        if mode == "mega":
+            tasks: List[MegaTask] = []
+            task_groups: List[Tuple[Optional[int], List[int]]] = []
+            for source, targets in groups.items():
+                with self._restricted_clean(source):
+                    task = self._mega_task(model, targets,
+                                           selection_group="pairs")
+                if task is None:
+                    tasks = []
+                    break
+                tasks.append(task)
+                task_groups.append((source, targets))
+            if tasks:
+                used_mega = True
+                self.last_mega_stats = {}
+                results = run_mega_inversion(
+                    tasks, cascade=self.mega_cascade, pool=self.mega_pool,
+                    cache=self.activation_cache, stats=self.last_mega_stats)
+                for (source, targets), task_results in zip(task_groups,
+                                                           results):
+                    for target, result in zip(targets, task_results):
+                        by_pair[(source, target)] = ReversedTrigger(
+                            target_class=int(target), pattern=result.pattern,
+                            mask=result.mask,
+                            success_rate=result.success_rate,
+                            iterations=result.iterations,
+                            source_class=source)
+        if not by_pair:
+            for source, targets in groups.items():
+                group_start = time.perf_counter()
+                with self._restricted_clean(source):
+                    group_triggers: Optional[List[ReversedTrigger]] = None
+                    if mode != "sequential" and len(targets) > 1:
+                        group_triggers = self.reverse_engineer_batch(model,
+                                                                     targets)
+                        group_batched = group_triggers is not None
+                        used_batched = used_batched or group_batched
+                    if group_triggers is None:
+                        group_batched = False
+                        group_triggers = []
+                        for target in targets:
+                            t0 = time.perf_counter()
+                            trigger = self.reverse_engineer(model, target)
+                            trigger.seconds = time.perf_counter() - t0
+                            group_triggers.append(trigger)
+                if group_batched:
+                    per_target = ((time.perf_counter() - group_start)
+                                  / len(targets))
+                    for trigger in group_triggers:
+                        trigger.seconds = per_target
+                for target, trigger in zip(targets, group_triggers):
+                    trigger.source_class = source
+                    by_pair[(source, target)] = trigger
+                    _LOG.debug("%s pair (%s -> %d): L1=%.3f success=%.2f",
+                               self.name, "*" if source is None else source,
+                               target, trigger.l1_norm, trigger.success_rate)
         triggers = [by_pair[pair] for pair in pair_list]
         total_seconds = time.perf_counter() - start
+        if used_mega:
+            per_pair = total_seconds / max(len(triggers), 1)
+            for trigger in triggers:
+                trigger.seconds = per_pair
 
         norms = [t.l1_norm for t in triggers]
         position_indices = mad_anomaly_indices(norms)
@@ -538,9 +685,114 @@ class TriggerReverseEngineeringDetector:
             flagged_classes=flagged_classes,
             is_backdoored=bool(flagged_pairs),
             seconds_total=total_seconds,
-            metadata={"batched": 1.0 if used_batched else 0.0,
+            metadata={"batched": 1.0 if (used_batched or used_mega) else 0.0,
+                      "mega": 1.0 if used_mega else 0.0,
                       "pair_mode": 1.0,
                       "pairs_scanned": float(len(pair_list))},
             pair_anomaly_indices=pair_anomaly,
             flagged_pairs=flagged_pairs,
         )
+
+
+def _classic_result(detector_name: str, class_list: List[int],
+                    triggers: List[ReversedTrigger], threshold: float,
+                    seconds_total: float,
+                    metadata: Dict[str, float]) -> DetectionResult:
+    """Assemble the classic (unconditional) verdict from per-class triggers."""
+    norms = [t.l1_norm for t in triggers]
+    position_indices = mad_anomaly_indices(norms)
+    anomaly_indices = {
+        class_list[pos]: value for pos, value in position_indices.items()
+    }
+    flagged = [cls for cls, value in anomaly_indices.items()
+               if value > threshold]
+    return DetectionResult(
+        detector=detector_name,
+        triggers=triggers,
+        anomaly_indices=anomaly_indices,
+        flagged_classes=sorted(flagged),
+        is_backdoored=bool(flagged),
+        seconds_total=seconds_total,
+        metadata=metadata,
+    )
+
+
+def detect_mega_fleet(jobs: Sequence[Tuple["TriggerReverseEngineeringDetector",
+                                           Module,
+                                           Optional[Sequence[int]]]],
+                      cascade: Optional[MegaCascadeConfig] = None,
+                      pool: Optional[MegaPoolConfig] = None,
+                      cache: Optional[CleanActivationCache] = None,
+                      stats: Optional[dict] = None) -> List[DetectionResult]:
+    """Run many classic scans through one shared work-item pool.
+
+    ``jobs`` is a sequence of ``(detector, model, classes)`` triples
+    (``classes=None`` scans every class of the detector's clean pool).  All
+    cells across all jobs execute in a single
+    :func:`~repro.core.mega.run_mega_inversion` call, so a multi-model or
+    multi-detector scan interleaves its model forwards in one pool instead of
+    draining job by job; each job keeps its own MAD selection group and
+    verdict.  Every detector must provide a mega path
+    (:meth:`TriggerReverseEngineeringDetector._mega_inits`); pair-mode scans
+    are not fleet-poolable and should go through ``detect(pairs=...)``
+    per job instead.
+
+    Wall clock is attributed to jobs proportionally to their cell counts
+    (the pool interleaves jobs, so per-job timing is not separable).
+    """
+    job_list = list(jobs)
+    if not job_list:
+        return []
+    restore: List[Tuple[Module, List[bool]]] = []
+    start = time.perf_counter()
+    try:
+        tasks: List[MegaTask] = []
+        class_lists: List[List[int]] = []
+        for index, (detector, model, classes) in enumerate(job_list):
+            model.eval()
+            restore.append((model, [p.requires_grad
+                                    for p in model.parameters()]))
+            model.requires_grad_(False)
+            class_list = list(classes) if classes is not None else list(
+                range(detector.clean_data.num_classes))
+            task = detector._mega_task(model, class_list,
+                                       selection_group=f"job{index}")
+            if task is None:
+                raise ValueError(
+                    f"{detector.name} provides no mega inversion path; "
+                    "detect_mega_fleet needs _mega_inits on every job.")
+            tasks.append(task)
+            class_lists.append(class_list)
+
+        run_stats: dict = {}
+        all_results = run_mega_inversion(tasks, cascade=cascade, pool=pool,
+                                         cache=cache, stats=run_stats)
+        total_seconds = time.perf_counter() - start
+        total_cells = sum(len(cl) for cl in class_lists) or 1
+
+        detections: List[DetectionResult] = []
+        for (detector, _, _), class_list, results in zip(job_list,
+                                                         class_lists,
+                                                         all_results):
+            job_seconds = total_seconds * len(class_list) / total_cells
+            per_class = job_seconds / max(len(class_list), 1)
+            triggers = [
+                ReversedTrigger(target_class=int(target),
+                                pattern=result.pattern, mask=result.mask,
+                                success_rate=result.success_rate,
+                                seconds=per_class,
+                                iterations=result.iterations)
+                for target, result in zip(class_list, results)
+            ]
+            detector.last_mega_stats = dict(run_stats)
+            detections.append(_classic_result(
+                detector.name, class_list, triggers,
+                detector.anomaly_threshold, job_seconds,
+                {"batched": 1.0, "mega": 1.0, "fleet": 1.0}))
+        if stats is not None:
+            stats.update(run_stats)
+        return detections
+    finally:
+        for model, flags in restore:
+            for param, flag in zip(model.parameters(), flags):
+                param.requires_grad = flag

@@ -82,10 +82,15 @@ class TriggerOptimizationConfig:
     outside_pattern_weight: float = 0.0
     #: Batched engine only: freeze a class early once its trigger success rate
     #: reaches this threshold (``None`` disables early stop, keeping batched
-    #: results aligned with the sequential per-class runs).
+    #: results aligned with the sequential per-class runs).  Success is
+    #: tracked *incrementally* from the blended-batch logits every iteration
+    #: already computes, so a converged class is frozen at its exact
+    #: convergence iteration instead of burning steps until the next periodic
+    #: full-set evaluation.
     early_stop_success: Optional[float] = None
-    #: Batched engine only: how often (in iterations) the early-stop success
-    #: check runs.
+    #: Retained for config compatibility: earlier revisions sampled the
+    #: early-stop success check every this many iterations.  The incremental
+    #: per-iteration tracking made the cadence knob a no-op.
     early_stop_check_every: int = 25
 
     def __post_init__(self) -> None:
@@ -265,9 +270,11 @@ class BatchedTriggerMaskOptimizer:
     activation working sets past the LLC, which on a single-core NumPy
     substrate would otherwise erase the gains.
 
-    With ``config.early_stop_success`` set, classes whose trigger already
-    drives the clean set to the target are frozen and removed from the
-    mega-batch (their Adam state is sliced away), shrinking later iterations.
+    With ``config.early_stop_success`` set, per-class success is tracked
+    incrementally from the blended-batch logits every iteration already
+    computes: a class whose batch fully hits the target is frozen at that
+    iteration and removed from the mega-batch (its Adam state is sliced
+    away), shrinking later iterations.
     """
 
     #: Target rows per model forward; chunks of classes are sized to stay
@@ -334,13 +341,14 @@ class BatchedTriggerMaskOptimizer:
             channels, height, width = batch.shape[1:]
             x = Tensor(batch)
 
-            # The per-class loss is diagnostic only, so compute it just when a
-            # class may finish here: at the final iteration or right before an
-            # early-stop check.
-            check_due = (cfg.early_stop_success is not None
-                         and (iteration + 1) % cfg.early_stop_check_every == 0
-                         and iteration + 1 < cfg.iterations)
-            need_losses = check_due or iteration + 1 == cfg.iterations
+            # Incremental early stop: the per-class success estimate falls
+            # out of the blended-batch logits every chunk computes anyway
+            # (one argmax), so convergence is observed at the iteration it
+            # happens instead of at the next periodic full-set evaluation.
+            stop_enabled = (cfg.early_stop_success is not None
+                            and iteration + 1 < cfg.iterations)
+            last_iteration = iteration + 1 == cfg.iterations
+            batch_hits = np.zeros(k, dtype=np.float64)
 
             # Classes per chunk: as many as fit the row budget (>= 1).
             group = max(1, min(k, self.max_chunk_rows // max(batch_len, 1)))
@@ -381,25 +389,35 @@ class BatchedTriggerMaskOptimizer:
                     outside = (pattern * (1.0 - mask)).abs().sum()
                     loss = loss + cfg.outside_pattern_weight * outside
 
-                if need_losses:
-                    final_loss[active[chunk]] = self._per_class_losses(
-                        logits.data, labels, batch, flat.data, pattern.data,
-                        mask.data)
+                preds = logits.data.argmax(axis=1).reshape(size, batch_len)
+                batch_hits[chunk] = (
+                    preds == self.target_classes[active[chunk]][:, None]
+                ).mean(axis=1)
+                # The per-class loss is diagnostic only: compute it just for
+                # classes finishing at this iteration (budget end, or frozen
+                # by the incremental early stop).
+                finishing = np.full(size, last_iteration, dtype=bool)
+                if stop_enabled:
+                    finishing |= batch_hits[chunk] >= cfg.early_stop_success
+                if finishing.any():
+                    losses = _per_class_diagnostic_losses(
+                        cfg, logits.data, labels, batch, flat.data,
+                        pattern.data, mask.data)
+                    final_loss[active[chunk][finishing]] = losses[finishing]
 
                 # Gradients accumulate across chunks (one zero_grad per
                 # iteration); the total is the full mega-batch gradient.
                 loss.backward()
             optimizer.step()
 
-            # Per-class early stop: freeze converged classes and shrink the
-            # mega-batch (and the Adam state) to the survivors.
-            if check_due:
-                pattern_np = _sigmoid(raw_pattern.data)
-                mask_np = _sigmoid(raw_mask.data)
-                rates = self.success_rates(pattern_np, mask_np,
-                                           self.target_classes[active])
-                done = rates >= cfg.early_stop_success
+            # Per-class early stop: freeze classes whose blended batch was
+            # fully converged going into this step and shrink the mega-batch
+            # (and the Adam state) to the survivors.
+            if stop_enabled:
+                done = batch_hits >= cfg.early_stop_success
                 if np.any(done):
+                    pattern_np = _sigmoid(raw_pattern.data)
+                    mask_np = _sigmoid(raw_mask.data)
                     for local_idx in np.nonzero(done)[0]:
                         slot = active[local_idx]
                         final_pattern[slot] = pattern_np[local_idx].copy()
@@ -473,27 +491,8 @@ class BatchedTriggerMaskOptimizer:
                           batch: np.ndarray, blended: np.ndarray,
                           patterns: np.ndarray, masks: np.ndarray) -> np.ndarray:
         """Diagnostic per-class losses matching the sequential ``final_loss``."""
-        cfg = self.config
-        k = len(patterns)
-        batch_len = len(batch)
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
-        ce = -log_probs[np.arange(len(labels)), labels].reshape(k, batch_len)
-        losses = ce.mean(axis=1)
-        if cfg.ssim_weight:
-            blended_k = blended.reshape(k, batch_len, *batch.shape[1:])
-            for idx in range(k):
-                losses[idx] -= cfg.ssim_weight * ssim(batch, blended_k[idx])
-        if cfg.mask_l1_weight:
-            losses += cfg.mask_l1_weight * np.abs(masks).sum(axis=(1, 2, 3))
-        if cfg.mask_tv_weight:
-            dh = np.abs(np.diff(masks, axis=2)).sum(axis=(1, 2, 3))
-            dw = np.abs(np.diff(masks, axis=3)).sum(axis=(1, 2, 3))
-            losses += cfg.mask_tv_weight * (dh + dw)
-        if cfg.outside_pattern_weight:
-            outside = np.abs(patterns * (1.0 - masks)).sum(axis=(1, 2, 3))
-            losses += cfg.outside_pattern_weight * outside
-        return losses
+        return _per_class_diagnostic_losses(self.config, logits, labels, batch,
+                                            blended, patterns, masks)
 
     @staticmethod
     def _slice_optimizer(optimizer: Adam, keep: np.ndarray,
@@ -510,6 +509,39 @@ class BatchedTriggerMaskOptimizer:
         sliced._m = [None if m is None else m[keep].copy() for m in optimizer._m]
         sliced._v = [None if v is None else v[keep].copy() for v in optimizer._v]
         return sliced
+
+
+def _per_class_diagnostic_losses(cfg: TriggerOptimizationConfig,
+                                 logits: np.ndarray, labels: np.ndarray,
+                                 batch: np.ndarray, blended: np.ndarray,
+                                 patterns: np.ndarray,
+                                 masks: np.ndarray) -> np.ndarray:
+    """Diagnostic per-class losses matching the sequential ``final_loss``.
+
+    Shared by the class-batched engine and the mega-batch work-item pool:
+    both lay out their forward as K class blocks of ``batch_len`` rows, so
+    the per-class loss decomposition is identical.
+    """
+    k = len(patterns)
+    batch_len = len(batch)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    ce = -log_probs[np.arange(len(labels)), labels].reshape(k, batch_len)
+    losses = ce.mean(axis=1)
+    if cfg.ssim_weight:
+        blended_k = blended.reshape(k, batch_len, *batch.shape[1:])
+        for idx in range(k):
+            losses[idx] -= cfg.ssim_weight * ssim(batch, blended_k[idx])
+    if cfg.mask_l1_weight:
+        losses += cfg.mask_l1_weight * np.abs(masks).sum(axis=(1, 2, 3))
+    if cfg.mask_tv_weight:
+        dh = np.abs(np.diff(masks, axis=2)).sum(axis=(1, 2, 3))
+        dw = np.abs(np.diff(masks, axis=3)).sum(axis=(1, 2, 3))
+        losses += cfg.mask_tv_weight * (dh + dw)
+    if cfg.outside_pattern_weight:
+        outside = np.abs(patterns * (1.0 - masks)).sum(axis=(1, 2, 3))
+        losses += cfg.outside_pattern_weight * outside
+    return losses
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:

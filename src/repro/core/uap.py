@@ -186,7 +186,9 @@ def generate_targeted_uap(model: Module, images: np.ndarray, target_class: int,
 def generate_targeted_uaps(model: Module, images: np.ndarray,
                            target_classes: Sequence[int],
                            config: Optional[TargetedUAPConfig] = None,
-                           rng: Optional[np.random.Generator] = None
+                           rng: Optional[np.random.Generator] = None,
+                           clean_logits: Optional[np.ndarray] = None,
+                           final_eval: bool = True
                            ) -> Dict[int, UAPResult]:
     """Alg. 1 for K candidate classes jointly (the batched ``detect()`` path).
 
@@ -196,6 +198,15 @@ def generate_targeted_uaps(model: Module, images: np.ndarray,
     classes.  Classes whose in-sweep error estimate reaches θ drop out of the
     mega-batch after their pass (per-class early stop); the authoritative
     per-class error rates are evaluated once at the end.
+
+    ``clean_logits`` (shape ``(N, num_classes)``, the model's logits over
+    ``images`` in their original order — e.g. from the shared clean-activation
+    cache) lets the very first mini-batch, where every running perturbation is
+    still zero, reuse the cached clean predictions instead of a ``K·B``-row
+    forward.  ``final_eval=False`` skips the authoritative
+    :func:`targeted_error_rates` pass and reports the cheaper in-sweep error
+    estimates instead (the mega path does this: the UAPs only seed Alg. 2 and
+    feed the prescreen norms, so estimate-grade error rates suffice).
     """
     config = config or TargetedUAPConfig()
     rng = rng or np.random.default_rng()
@@ -208,8 +219,11 @@ def generate_targeted_uaps(model: Module, images: np.ndarray,
     num_classes = len(targets)
     v = np.zeros((num_classes,) + images.shape[1:], dtype=np.float32)
     passes = np.zeros(num_classes, dtype=np.int64)
+    estimates_final = np.zeros(num_classes, dtype=np.float64)
     active_classes = np.arange(num_classes)
     order = np.arange(len(images))
+    clean_predictions = (None if clean_logits is None
+                         else np.asarray(clean_logits).argmax(axis=1))
 
     for _ in range(config.max_passes):
         if active_classes.size == 0:
@@ -222,13 +236,23 @@ def generate_targeted_uaps(model: Module, images: np.ndarray,
             batch_idx = order[start:start + config.batch_size]
             batch = images[batch_idx]
             batch_len = len(batch)
-            perturbed = np.clip(batch[None] + v[active_classes][:, None],
-                                config.clip_min, config.clip_max
-                                ).astype(np.float32)
-            flat = perturbed.reshape((-1,) + batch.shape[1:])
-            flat_targets = np.repeat(targets[active_classes], batch_len)
-            with no_grad():
-                predictions = model(Tensor(flat)).data.argmax(axis=1)
+            if (clean_predictions is not None
+                    and not v[active_classes].any()):
+                # All running perturbations are still zero (first mini-batch
+                # of the sweep): every class block sees the plain clean batch,
+                # so the K·B-row prediction forward collapses to a lookup of
+                # the cached clean predictions (class-major tiling).
+                flat = np.tile(batch, (k, 1, 1, 1))
+                flat_targets = np.repeat(targets[active_classes], batch_len)
+                predictions = np.tile(clean_predictions[batch_idx], k)
+            else:
+                perturbed = np.clip(batch[None] + v[active_classes][:, None],
+                                    config.clip_min, config.clip_max
+                                    ).astype(np.float32)
+                flat = perturbed.reshape((-1,) + batch.shape[1:])
+                flat_targets = np.repeat(targets[active_classes], batch_len)
+                with no_grad():
+                    predictions = model(Tensor(flat)).data.argmax(axis=1)
             hits += (predictions == flat_targets).reshape(k, batch_len).sum(axis=1)
             active_mask = predictions != flat_targets
             if not np.any(active_mask):
@@ -260,11 +284,15 @@ def generate_targeted_uaps(model: Module, images: np.ndarray,
             v[active_classes] = _project_batch(v[active_classes] + sums,
                                                config.radius, config.norm)
         estimates = hits / len(images)
+        estimates_final[active_classes] = estimates
         keep = estimates < config.desired_error_rate
         active_classes = active_classes[keep]
 
-    errors = targeted_error_rates(model, images, v, targets,
-                                  config.clip_min, config.clip_max)
+    if final_eval:
+        errors = targeted_error_rates(model, images, v, targets,
+                                      config.clip_min, config.clip_max)
+    else:
+        errors = estimates_final
     return {
         int(targets[idx]): UAPResult(target_class=int(targets[idx]),
                                      perturbation=v[idx],

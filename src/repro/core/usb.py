@@ -37,6 +37,7 @@ import numpy as np
 from ..data.dataset import Dataset
 from ..nn.layers import Module
 from .detection import ReversedTrigger, TriggerReverseEngineeringDetector
+from .mega import _forward_logits
 from .trigger_optimizer import TriggerMaskOptimizer, TriggerOptimizationConfig
 from .uap import (
     TargetedUAPConfig,
@@ -145,3 +146,37 @@ class USBDetector(TriggerReverseEngineeringDetector):
                 uap_results[t].perturbation) for t in class_list]
         return self._optimize_triggers_batched(model, class_list, inits,
                                                self.config.optimization)
+
+    def _mega_inits(self, model: Module, target_classes: List[int]):
+        """Alg. 1 seeds for the mega pool, with UAP norms as prescreen.
+
+        The Alg. 1 stage reuses the shared clean-activation cache for the
+        first-sweep prediction pass and skips the authoritative final error
+        evaluation (the UAPs only seed Alg. 2 here); per-class UAP L1 norms
+        feed the cascade's prescreen so a seed that already latched onto a
+        shortcut is guaranteed the full refinement budget.
+        """
+        class_list = list(target_classes)
+        if self.config.random_init:
+            inits = [TriggerMaskOptimizer.random_init(
+                self.clean_data.image_shape, self._rng) for _ in class_list]
+            return inits, self.config.optimization, None
+        missing = [t for t in class_list if t not in self._seeded_uaps]
+        uap_results = dict(self._seeded_uaps)
+        if missing:
+            images = self.clean_data.images
+            if self.activation_cache is not None:
+                clean_logits = self.activation_cache.clean_logits(
+                    model, images, model_key=self.model_key,
+                    images_key=self._images_key())
+            else:
+                clean_logits = _forward_logits(model, images)
+            uap_results.update(generate_targeted_uaps(
+                model, images, missing, config=self.config.uap,
+                rng=self._rng, clean_logits=clean_logits, final_eval=False))
+        for target in class_list:
+            self.last_uaps[target] = uap_results[target]
+        inits = [TriggerMaskOptimizer.init_from_uap(
+            uap_results[t].perturbation) for t in class_list]
+        prescreen = [uap_results[t].l1_norm for t in class_list]
+        return inits, self.config.optimization, prescreen

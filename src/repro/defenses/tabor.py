@@ -68,3 +68,10 @@ class TaborDetector(TriggerReverseEngineeringDetector):
                  for _ in class_list]
         return self._optimize_triggers_batched(model, class_list, inits,
                                                self.config.optimization)
+
+    def _mega_inits(self, model: Module, target_classes: List[int]):
+        """Random starts for the mega pool (same RNG order as the batch path)."""
+        inits = [TriggerMaskOptimizer.random_init(self.clean_data.image_shape,
+                                                  self._rng)
+                 for _ in target_classes]
+        return inits, self.config.optimization, None

@@ -213,6 +213,9 @@ class ExperimentConfig:
     detectors: Sequence[str] = ("nc", "tabor", "usb")
     scale: ExperimentScale = field(default_factory=lambda: SCALES["tiny"])
     description: str = ""
+    #: Trigger-inversion engine for every scan in this experiment
+    #: (``sequential`` / ``batched`` / ``mega``).
+    inversion_mode: str = "batched"
 
     def with_scale(self, scale: ExperimentScale) -> "ExperimentConfig":
         """A copy of this config running at a different scale preset."""
@@ -487,7 +490,8 @@ def _detect_case_model(config: ExperimentConfig, case: CaseSpec,
         true_target = None
     records: Dict[str, ModelDetectionRecord] = {}
     for detector_name, detector in detectors.items():
-        detection = detector.detect(trained.model, classes=classes, pairs=pairs)
+        detection = detector.detect(trained.model, classes=classes, pairs=pairs,
+                                    mode=config.inversion_mode)
         records[detector_name] = ModelDetectionRecord(
             model_index=model_index, is_backdoored_truth=not case.is_clean,
             true_target_class=true_target, detection=detection,
@@ -618,11 +622,16 @@ def _record_fleet_scans(config: ExperimentConfig, case: CaseSpec,
         record = ModelDetectionRecord.from_dict(payload)
         # Scenario identity is part of the digest: the same weights scanned
         # under different scenario grids must never share a cache entry.
-        digest = digest_config({
+        digest_payload = {
             "experiment": config.name, "detector": detector_name.lower(),
             "scale": config.scale, "dataset": config.dataset,
             "case": case.name, "scenario": case_scenario_id(case),
-        })
+        }
+        # Keep pre-existing cached digests stable: the engine only enters
+        # the digest when it deviates from the historical default.
+        if config.inversion_mode != "batched":
+            digest_payload["inversion_mode"] = config.inversion_mode
+        digest = digest_config(digest_payload)
         store.add(ScanRecord.from_detection(
             key=scan_key(summary.fingerprint, detector_name, digest),
             fingerprint=summary.fingerprint, config_digest=digest,
@@ -764,7 +773,8 @@ def run_repair_sweep(config: ExperimentConfig, seed: int = 0,
                                              np.random.default_rng(model_seed + 5))
             for detector_name, detector in detectors.items():
                 detection = detector.detect(trained.model, classes=classes,
-                                            pairs=pairs)
+                                            pairs=pairs,
+                                            mode=config.inversion_mode)
                 for strategy in strategies:
                     model = build_model(
                         config.model, num_classes=spec.num_classes,

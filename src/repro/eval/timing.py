@@ -7,22 +7,24 @@ fewer optimization iterations and (ii) the targeted-UAP seed can be reused
 across models of the same architecture.
 
 :func:`measure_detection_times` reproduces that measurement for any trained
-model: it times ``reverse_engineer`` per class for every detector and returns
-both the per-class times (Table 7) and the per-model totals (§4.4).  Passing
-``batched=True`` times the joint multi-class scan instead (one mega-batch
-optimization for all classes, see :mod:`repro.core.detection`), attributing
-the amortized per-class share of the total to every class.
+model.  The sequential mode times ``reverse_engineer`` per class and reports
+genuine per-class figures (Table 7).  The joint modes — ``batched`` (one
+stacked optimization per model) and ``mega`` (the cross-model work-item pool
+with the budget cascade) — interleave all classes in one tensor program, so
+per-class wall clock is **not attributable**: those timings carry only the
+joint-scan ``total`` (plus the class list it covered) and leave
+``per_class_seconds`` empty rather than fabricating a uniform split.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.detection import TriggerReverseEngineeringDetector
+from ..core.detection import INVERSION_MODES, TriggerReverseEngineeringDetector
 from ..data.dataset import Dataset
 from ..nn.layers import Module
 
@@ -31,24 +33,52 @@ __all__ = ["ClassTiming", "TimingReport", "measure_detection_times"]
 
 @dataclass
 class ClassTiming:
-    """Per-class reverse-engineering wall-clock time for one detector."""
+    """Reverse-engineering wall-clock measurement for one detector.
+
+    Sequential measurements populate ``per_class_seconds`` (one genuine
+    timing per class).  Joint measurements (``mode`` of ``"batched"`` or
+    ``"mega"``) populate ``total`` and ``classes_timed`` instead — the
+    engine interleaves classes, so splitting the total across them would
+    fabricate numbers that were never measured.
+    """
 
     detector: str
     per_class_seconds: Dict[int, float] = field(default_factory=dict)
-    #: Whether the per-class figures are amortized shares of one batched scan.
+    #: Whether the measurement came from a joint (multi-class) scan.
     batched: bool = False
+    #: Inversion engine that produced the timing (``INVERSION_MODES``).
+    mode: str = "sequential"
+    #: Joint-scan wall clock; ``None`` for sequential measurements.
+    total: Optional[float] = None
+    #: Classes the joint scan covered (keys of ``per_class_seconds``
+    #: otherwise).
+    classes_timed: Tuple[int, ...] = ()
 
     @property
     def total_seconds(self) -> float:
-        """Summed wall clock over all scanned classes."""
+        """Wall clock over all scanned classes (joint total when present)."""
+        if self.total is not None:
+            return float(self.total)
         return float(sum(self.per_class_seconds.values()))
 
     @property
+    def class_count(self) -> int:
+        """Number of classes the measurement covered."""
+        if self.per_class_seconds:
+            return len(self.per_class_seconds)
+        return len(self.classes_timed)
+
+    @property
     def mean_seconds(self) -> float:
-        """Mean per-class wall clock (0.0 when nothing was timed)."""
-        if not self.per_class_seconds:
+        """Mean per-class wall clock (0.0 when nothing was timed).
+
+        For joint modes this is ``total / K`` — a bookkeeping average, not a
+        per-class measurement.
+        """
+        count = self.class_count
+        if not count:
             return 0.0
-        return self.total_seconds / len(self.per_class_seconds)
+        return self.total_seconds / count
 
 
 @dataclass
@@ -59,13 +89,16 @@ class TimingReport:
     timings: List[ClassTiming]
 
     def rows(self) -> List[Dict[str, object]]:
-        """Table-7-style rows: one per (detector, mode) timing entry."""
+        """Table-7-style rows: one per (detector, mode) timing entry.
+
+        Per-class columns appear only for sequential measurements — joint
+        modes report ``total_s``/``mean_s`` alone.
+        """
         out: List[Dict[str, object]] = []
         for timing in self.timings:
             row: Dict[str, object] = {"case": self.case_name,
                                       "method": timing.detector,
-                                      "mode": "batched" if timing.batched
-                                              else "sequential",
+                                      "mode": timing.mode,
                                       "total_s": round(timing.total_seconds, 2),
                                       "mean_s": round(timing.mean_seconds, 2)}
             for cls, seconds in sorted(timing.per_class_seconds.items()):
@@ -88,14 +121,30 @@ def measure_detection_times(model: Module,
                             detectors: Dict[str, TriggerReverseEngineeringDetector],
                             classes: Optional[Sequence[int]] = None,
                             case_name: str = "timing",
-                            batched: bool = False) -> TimingReport:
-    """Time per-class reverse engineering of every detector on ``model``.
+                            batched: bool = False,
+                            mode: Optional[str] = None) -> TimingReport:
+    """Time trigger reverse engineering of every detector on ``model``.
 
-    With ``batched=True`` each detector's joint multi-class scan is timed
-    instead, and every class is attributed the amortized ``total / K`` share;
-    detectors without a batched implementation fall back to the sequential
-    per-class measurement.
+    Args:
+        model: Trained model to scan (gradients are disabled for the run).
+        detectors: Name -> detector mapping; one timing entry per detector.
+        classes: Candidate classes (default: every class of the clean pool).
+        case_name: Label stamped on the report.
+        batched: Legacy toggle for ``mode="batched"``; ignored when ``mode``
+            is given.
+        mode: ``"sequential"`` (per-class loop, genuine per-class times),
+            ``"batched"`` (one stacked scan per detector), or ``"mega"``
+            (the pooled engine with the budget cascade).  Joint modes record
+            only the total — their engines interleave classes, so per-class
+            attribution would be fabricated.  A detector lacking the
+            requested joint engine falls back down the chain
+            (mega -> batched -> sequential), mirroring ``detect()``.
     """
+    resolved = mode if mode is not None else ("batched" if batched
+                                              else "sequential")
+    if resolved not in INVERSION_MODES:
+        raise ValueError(f"Unknown timing mode '{resolved}'. "
+                         f"Available: {', '.join(INVERSION_MODES)}")
     model.eval()
     was_grad = [p.requires_grad for p in model.parameters()]
     model.requires_grad_(False)
@@ -105,22 +154,33 @@ def measure_detection_times(model: Module,
             class_list = list(classes) if classes is not None else list(
                 range(detector.clean_data.num_classes))
             per_class: Dict[int, float] = {}
-            used_batched = False
-            if batched and len(class_list) > 1:
+            used_mode = "sequential"
+            total: Optional[float] = None
+            if resolved != "sequential" and len(class_list) > 1:
                 start = time.perf_counter()
-                triggers = detector.reverse_engineer_batch(model, class_list)
-                elapsed = time.perf_counter() - start
+                triggers = None
+                if resolved == "mega":
+                    triggers = detector.reverse_engineer_mega(model,
+                                                              class_list)
+                    if triggers is not None:
+                        used_mode = "mega"
+                if triggers is None:
+                    triggers = detector.reverse_engineer_batch(model,
+                                                               class_list)
+                    if triggers is not None:
+                        used_mode = "batched"
                 if triggers is not None:
-                    share = elapsed / len(class_list)
-                    per_class = {target: share for target in class_list}
-                    used_batched = True
-            if not used_batched:
+                    total = time.perf_counter() - start
+            if total is None:
+                used_mode = "sequential"
                 for target in class_list:
                     start = time.perf_counter()
                     detector.reverse_engineer(model, target)
                     per_class[target] = time.perf_counter() - start
-            timings.append(ClassTiming(detector=name, per_class_seconds=per_class,
-                                       batched=used_batched))
+            timings.append(ClassTiming(
+                detector=name, per_class_seconds=per_class,
+                batched=used_mode != "sequential", mode=used_mode,
+                total=total, classes_timed=tuple(class_list)))
         return TimingReport(case_name=case_name, timings=timings)
     finally:
         for param, flag in zip(model.parameters(), was_grad):

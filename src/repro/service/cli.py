@@ -47,6 +47,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
+from ..core.detection import INVERSION_MODES
 from ..data import DATASET_SPECS
 from ..models import MODEL_BUILDERS
 from .daemon import DaemonConfig, WatchDaemon, default_stats_path
@@ -91,6 +92,12 @@ def _add_scan_options(parser: argparse.ArgumentParser) -> None:
                         help="UAP sweeps over the clean set (Alg. 1, USB only).")
     parser.add_argument("--anomaly-threshold", type=float, default=2.0,
                         help="MAD anomaly index above which a class is flagged.")
+    parser.add_argument("--inversion-mode", choices=INVERSION_MODES,
+                        default="batched",
+                        help="Trigger-inversion engine: 'sequential' "
+                             "(per-class loop), 'batched' (stacked per-model "
+                             "fast path, default), or 'mega' (cross-model "
+                             "work-item pool with the budget cascade).")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -244,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--source-classes", type=str, default=None,
                             help="Source classes for source_conditional cases "
                                  "(default: the two classes after the target).")
+    experiment.add_argument("--inversion-mode", choices=INVERSION_MODES,
+                            default="batched",
+                            help="Trigger-inversion engine for every scan in "
+                                 "the experiment (see 'scan --help').")
     experiment.add_argument("--seed", type=int, default=0)
     experiment.add_argument("--workers", type=int, default=0,
                             help="Dispatch the (case, model) fleet across N "
@@ -275,7 +286,8 @@ def _request_from_args(args: argparse.Namespace, checkpoint: str,
         samples_per_class=args.samples_per_class, iterations=args.iterations,
         uap_passes=args.uap_passes, anomaly_threshold=args.anomaly_threshold,
         seed=args.seed, scenario=args.scenario,
-        source_classes=_parse_classes(args.source_classes))
+        source_classes=_parse_classes(args.source_classes),
+        inversion_mode=args.inversion_mode)
 
 
 def _make_scheduler(args: argparse.Namespace) -> ScanScheduler:
@@ -494,7 +506,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         samples_per_class=args.samples_per_class, iterations=args.iterations,
         uap_passes=args.uap_passes, anomaly_threshold=args.anomaly_threshold,
         seed=args.seed, scenario=args.scenario,
-        source_classes=_parse_classes(args.source_classes))
+        source_classes=_parse_classes(args.source_classes),
+        inversion_mode=args.inversion_mode)
     config = DaemonConfig(
         watch_dir=args.directory, store_path=args.store, detectors=detectors,
         poll_interval=args.poll_interval, job_timeout=args.job_timeout,
@@ -575,6 +588,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     config = scenario_grid_config(
         config, scenarios, cases=cases,
         source_classes=_parse_classes(args.source_classes))
+    if args.inversion_mode != config.inversion_mode:
+        config = dataclasses.replace(config,
+                                     inversion_mode=args.inversion_mode)
     if args.repair_strategies:
         strategies = [s.strip() for s in args.repair_strategies.split(",")
                       if s.strip()]

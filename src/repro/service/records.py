@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
-from ..core.detection import DetectionResult
+from ..core.detection import INVERSION_MODES, DetectionResult
 
 __all__ = ["ScanRequest", "ScanRecord", "RepairRecord", "record_from_dict"]
 
@@ -61,6 +61,11 @@ class ScanRequest:
     #: Suspected source classes for ``source_conditional`` scans; ``None``
     #: sweeps every candidate class as a source.
     source_classes: Optional[Tuple[int, ...]] = None
+    #: Trigger-inversion engine: ``"sequential"`` (per-class loop),
+    #: ``"batched"`` (stacked per-model optimization, the default), or
+    #: ``"mega"`` (cross-model work-item pool with the budget cascade).
+    #: Part of the cache key whenever it deviates from ``"batched"``.
+    inversion_mode: str = "batched"
 
     def __post_init__(self) -> None:
         if self.detector.lower() not in KNOWN_DETECTORS:
@@ -69,6 +74,10 @@ class ScanRequest:
         if self.scenario not in SCENARIOS:
             raise ValueError(f"Unknown scenario '{self.scenario}'. "
                              f"Available: {', '.join(SCENARIOS)}")
+        if self.inversion_mode not in INVERSION_MODES:
+            raise ValueError(
+                f"Unknown inversion mode '{self.inversion_mode}'. "
+                f"Available: {', '.join(INVERSION_MODES)}")
         if self.classes is not None:
             object.__setattr__(self, "classes",
                                tuple(int(c) for c in self.classes))

@@ -51,6 +51,8 @@ from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
 import numpy as np
 
 from ..attacks.base import SCENARIO_ALL_TO_ONE, scan_pairs_for
+from ..core.detection import detect_mega_fleet
+from ..core.mega import CleanActivationCache
 from ..core.trigger_optimizer import TriggerOptimizationConfig
 from ..core.uap import TargetedUAPConfig
 from ..core.usb import USBConfig, USBDetector
@@ -71,8 +73,9 @@ from .records import ScanRecord, ScanRequest
 from .store import ResultStore
 
 __all__ = ["ResolvedScan", "ScanScheduler", "resolve_request", "execute_scan",
-           "execute_resolved", "build_request_detector", "JobQueue",
-           "QueuedJob", "JobTimeoutError", "ServiceMetrics"]
+           "execute_resolved", "execute_mega_group", "build_request_detector",
+           "JobQueue", "QueuedJob", "JobTimeoutError", "ServiceMetrics",
+           "activation_cache_bytes"]
 
 _LOG = get_logger("repro.service.scheduler")
 
@@ -181,7 +184,7 @@ def resolve_request(request: ScanRequest,
     # the scenario axis — cached verdicts must never collide across
     # scenarios (an all-to-one scan and a source-conditional pair sweep of
     # the same weights are different results).
-    digest = digest_config({
+    digest_payload = {
         "detector": request.detector.lower(),
         "config": _detector_config(request),
         "dataset": dataset,
@@ -193,7 +196,12 @@ def resolve_request(request: ScanRequest,
         "scenario": request.scenario,
         "source_classes": (list(request.source_classes)
                            if request.source_classes is not None else None),
-    })
+    }
+    # The default engine predates the knob; only deviations enter the digest
+    # so verdicts cached before ``inversion_mode`` existed stay addressable.
+    if request.inversion_mode != "batched":
+        digest_payload["inversion_mode"] = request.inversion_mode
+    digest = digest_config(digest_payload)
     return ResolvedScan(
         request=request, model=model, dataset=dataset, image_size=image_size,
         fingerprint=fingerprint, config_digest=digest,
@@ -249,7 +257,8 @@ def execute_resolved(resolved: ResolvedScan) -> ScanRecord:
         pairs = scan_pairs_for(request.scenario, candidate_classes,
                                source_classes=request.source_classes)
     start = time.perf_counter()
-    detection = detector.detect(model, classes=classes, pairs=pairs)
+    detection = detector.detect(model, classes=classes, pairs=pairs,
+                                mode=request.inversion_mode)
     detection.seconds_total = time.perf_counter() - start
     return ScanRecord.from_detection(
         key=resolved.key, fingerprint=resolved.fingerprint,
@@ -261,6 +270,83 @@ def execute_resolved(resolved: ResolvedScan) -> ScanRecord:
 def execute_scan(request: ScanRequest) -> ScanRecord:
     """One-shot convenience entry: resolve ``request`` and scan it."""
     return execute_resolved(resolve_request(request))
+
+
+def activation_cache_bytes() -> int:
+    """Clean-activation cache budget: ``REPRO_ACTIVATION_CACHE_MB`` (MB).
+
+    Defaults to 256 MB; see ``docs/ops.md`` for sizing guidance.
+    """
+    try:
+        megabytes = int(os.environ.get("REPRO_ACTIVATION_CACHE_MB", "256"))
+    except ValueError:
+        megabytes = 256
+    return max(1, megabytes) * 1024 * 1024
+
+
+def _mega_record(resolved: ResolvedScan, detection) -> ScanRecord:
+    return ScanRecord.from_detection(
+        key=resolved.key, fingerprint=resolved.fingerprint,
+        config_digest=resolved.config_digest,
+        checkpoint=resolved.request.checkpoint, model=resolved.model,
+        dataset=resolved.dataset, detection=detection,
+        created_at=_utc_now(), worker_pid=os.getpid())
+
+
+def execute_mega_group(group: Sequence[ResolvedScan],
+                       cache: Optional[CleanActivationCache] = None
+                       ) -> List[ScanRecord]:
+    """Run a batch of ``inversion_mode="mega"`` scans as one mega-batch.
+
+    Every classic (all-to-one) scan in ``group`` contributes its (model ×
+    class) cells to a single :func:`~repro.core.detection.detect_mega_fleet`
+    pool — a 5-checkpoint grid becomes one cross-model tensor program instead
+    of five sequential scans.  Pair-mode scans are not fleet-poolable; they
+    run per model through ``detect(mode="mega")``, still sharing the
+    clean-activation ``cache``.
+
+    Per-request setup replays :func:`execute_resolved` exactly — fresh RNG
+    from the request seed, same checkpoint load, same clean sample — so a
+    mega record differs from a worker record only by its inversion engine.
+    """
+    group_list = list(group)
+    if not group_list:
+        return []
+    if cache is None:
+        cache = CleanActivationCache(max_bytes=activation_cache_bytes())
+    records: List[Optional[ScanRecord]] = [None] * len(group_list)
+    fleet: List[Tuple[int, ResolvedScan]] = []
+    fleet_jobs: List[Tuple[Any, Module, Optional[List[int]]]] = []
+    for position, resolved in enumerate(group_list):
+        request = resolved.request
+        rng = np.random.default_rng(request.seed)
+        state, _ = load_checkpoint(request.checkpoint)
+        model = _build_scan_model(resolved, state)
+        clean = _clean_sample(resolved, rng)
+        detector = build_request_detector(request, clean, rng)
+        detector.activation_cache = cache
+        detector.model_key = resolved.fingerprint
+        detector.clean_key = (f"{resolved.dataset}:{resolved.image_size}:"
+                              f"s{request.seed}:b{request.clean_budget}")
+        classes = list(request.classes) if request.classes is not None else None
+        if request.scenario != SCENARIO_ALL_TO_ONE:
+            candidate_classes = (classes if classes is not None
+                                 else list(range(clean.num_classes)))
+            pairs = scan_pairs_for(request.scenario, candidate_classes,
+                                   source_classes=request.source_classes)
+            start = time.perf_counter()
+            detection = detector.detect(model, classes=classes, pairs=pairs,
+                                        mode="mega")
+            detection.seconds_total = time.perf_counter() - start
+            records[position] = _mega_record(resolved, detection)
+        else:
+            fleet.append((position, resolved))
+            fleet_jobs.append((detector, model, classes))
+    if fleet_jobs:
+        detections = detect_mega_fleet(fleet_jobs, cache=cache)
+        for (position, resolved), detection in zip(fleet, detections):
+            records[position] = _mega_record(resolved, detection)
+    return [record for record in records if record is not None]
 
 
 # ---------------------------------------------------------------------- #
@@ -634,8 +720,24 @@ class ScanScheduler:
             _LOG.info("Scanning %d/%d request(s) (%d served from cache) "
                       "with %d worker(s).", len(pending), len(resolved),
                       sum(r is not None for r in results), max(self.workers, 1))
-            fresh = self.run_jobs(execute_resolved, [item for _, item in pending])
-            for (index, _), record in zip(pending, fresh):
+            # Mega-mode requests batch across models/checkpoints, so they run
+            # as one in-parent pool instead of fanning out to workers.
+            mega = [(index, item) for index, item in pending
+                    if item.request.inversion_mode == "mega"]
+            rest = [(index, item) for index, item in pending
+                    if item.request.inversion_mode != "mega"]
+            computed: List[Tuple[int, ScanRecord]] = []
+            if mega:
+                _LOG.info("Pooling %d mega-mode scan(s) into one mega-batch.",
+                          len(mega))
+                mega_records = execute_mega_group([item for _, item in mega])
+                computed.extend(zip((index for index, _ in mega),
+                                    mega_records))
+            if rest:
+                fresh = self.run_jobs(execute_resolved,
+                                      [item for _, item in rest])
+                computed.extend(zip((index for index, _ in rest), fresh))
+            for index, record in computed:
                 results[index] = record
                 self.metrics.record_latency(float(record.seconds))
                 if self.store is not None:

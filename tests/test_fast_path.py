@@ -325,8 +325,9 @@ class TestBatchedTriggerOptimizer:
 
     def test_early_stop_freezes_converged_classes(self, dataset_early=None):
         # A model that always predicts class 0: its trigger succeeds
-        # immediately, so class 0 must freeze at the first check while
-        # class 1 keeps optimizing to the full budget.
+        # immediately, so class 0 must freeze after the very first iteration
+        # (incremental tracking) while class 1 keeps optimizing to the full
+        # budget.
         class AlwaysZero(Module):
             def __init__(self):
                 super().__init__()
@@ -350,7 +351,7 @@ class TestBatchedTriggerOptimizer:
                  for _ in range(2)]
         results = BatchedTriggerMaskOptimizer(
             model, images, [0, 1], cfg).optimize(inits)
-        assert results[0].iterations == 2
+        assert results[0].iterations == 1
         assert results[0].success_rate == 1.0
         assert results[1].iterations == 10
 
@@ -462,5 +463,12 @@ class TestBatchedDetect:
                                          case_name="t", batched=True)
         timing = report.timings[0]
         assert timing.batched
-        assert set(timing.per_class_seconds) == {0, 1}
-        assert report.rows()[0]["mode"] == "batched"
+        # Joint scans interleave classes: only the total is a real
+        # measurement, so no per-class figures are fabricated.
+        assert timing.per_class_seconds == {}
+        assert timing.total is not None and timing.total > 0
+        assert timing.classes_timed == (0, 1)
+        assert timing.total_seconds == pytest.approx(timing.total)
+        row = report.rows()[0]
+        assert row["mode"] == "batched"
+        assert "class_0_s" not in row and "class_1_s" not in row
