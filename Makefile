@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke
+.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -50,6 +50,12 @@ daemon-smoke:
 ## true ASR drops >0.9 -> <0.2 within the clean-accuracy guardrail.
 repair-smoke:
 	$(PYTHON) tools/repair_smoke.py
+
+## Observability smoke: one daemon cycle with telemetry on; asserts
+## metrics.prom parses as valid exposition and `repro trace` renders a
+## stitched cross-process span tree.
+obs-smoke:
+	$(PYTHON) tools/obs_smoke.py
 
 ## Mega-batch parity smoke (fast; tiny model, 4 classes): flagged classes
 ## identical across sequential/batched/mega, exact match without cascade.

@@ -158,6 +158,12 @@ def _timing_payload(report):
             entry["per_class_s"] = {str(cls): round(sec, 3)
                                     for cls, sec in sorted(
                                         timing.per_class_seconds.items())}
+        # Joint engines do expose a *phase* split (coarse sweep vs finalist
+        # resume vs UAP seeding) via the inversion profiler.
+        if timing.phase_seconds:
+            entry["phase_s"] = {phase: round(sec, 3)
+                                for phase, sec in sorted(
+                                    timing.phase_seconds.items())}
         payload[timing.detector] = entry
     return payload
 

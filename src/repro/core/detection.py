@@ -49,6 +49,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..nn.layers import Module
+from ..obs.trace import span as _tspan
 from ..utils.logging import get_logger
 from .mega import (
     CleanActivationCache,
@@ -543,23 +544,29 @@ class TriggerReverseEngineeringDetector:
             start = time.perf_counter()
             used_batched = False
             used_mega = False
-            if mode == "mega" and len(class_list) > 1:
-                triggers = self.reverse_engineer_mega(model, class_list)
-                used_mega = triggers is not None
-            if (triggers is None and mode != "sequential"
-                    and len(class_list) > 1):
-                triggers = self.reverse_engineer_batch(model, class_list)
-                used_batched = triggers is not None
-            if triggers is None:
-                triggers = []
-                for target in class_list:
-                    t0 = time.perf_counter()
-                    trigger = self.reverse_engineer(model, target)
-                    trigger.seconds = time.perf_counter() - t0
-                    triggers.append(trigger)
-                    _LOG.debug("%s class %d: L1=%.3f success=%.2f (%.1fs)",
-                               self.name, target, trigger.l1_norm,
-                               trigger.success_rate, trigger.seconds)
+            with _tspan("inversion", detector=self.name,
+                        classes=len(class_list)) as inv_span:
+                if mode == "mega" and len(class_list) > 1:
+                    triggers = self.reverse_engineer_mega(model, class_list)
+                    used_mega = triggers is not None
+                if (triggers is None and mode != "sequential"
+                        and len(class_list) > 1):
+                    triggers = self.reverse_engineer_batch(model, class_list)
+                    used_batched = triggers is not None
+                if triggers is None:
+                    triggers = []
+                    for target in class_list:
+                        t0 = time.perf_counter()
+                        trigger = self.reverse_engineer(model, target)
+                        trigger.seconds = time.perf_counter() - t0
+                        triggers.append(trigger)
+                        _LOG.debug("%s class %d: L1=%.3f success=%.2f (%.1fs)",
+                                   self.name, target, trigger.l1_norm,
+                                   trigger.success_rate, trigger.seconds)
+                if inv_span is not None:
+                    inv_span.attrs["engine"] = ("mega" if used_mega else
+                                                "batched" if used_batched
+                                                else "sequential")
             total_seconds = time.perf_counter() - start
             if used_batched or used_mega:
                 # Joint optimization amortizes the wall clock across classes.
@@ -665,8 +672,10 @@ class TriggerReverseEngineeringDetector:
             for trigger in triggers:
                 trigger.seconds = per_pair
 
-        norms = [t.l1_norm for t in triggers]
-        position_indices = mad_anomaly_indices(norms)
+        with _tspan("mad.decision", detector=self.name, cells=len(triggers),
+                    pair_mode=True):
+            norms = [t.l1_norm for t in triggers]
+            position_indices = mad_anomaly_indices(norms)
         pair_anomaly = {pair_list[pos]: value
                         for pos, value in position_indices.items()}
         flagged_pairs = sorted(
@@ -699,13 +708,14 @@ def _classic_result(detector_name: str, class_list: List[int],
                     seconds_total: float,
                     metadata: Dict[str, float]) -> DetectionResult:
     """Assemble the classic (unconditional) verdict from per-class triggers."""
-    norms = [t.l1_norm for t in triggers]
-    position_indices = mad_anomaly_indices(norms)
-    anomaly_indices = {
-        class_list[pos]: value for pos, value in position_indices.items()
-    }
-    flagged = [cls for cls, value in anomaly_indices.items()
-               if value > threshold]
+    with _tspan("mad.decision", detector=detector_name, cells=len(triggers)):
+        norms = [t.l1_norm for t in triggers]
+        position_indices = mad_anomaly_indices(norms)
+        anomaly_indices = {
+            class_list[pos]: value for pos, value in position_indices.items()
+        }
+        flagged = [cls for cls, value in anomaly_indices.items()
+                   if value > threshold]
     return DetectionResult(
         detector=detector_name,
         triggers=triggers,

@@ -44,6 +44,7 @@ import itertools
 import math
 import weakref
 from collections import OrderedDict, deque
+from time import perf_counter as _perf_counter
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +53,8 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.layers import Module
 from ..nn.tensor import Tensor, enable_grad, no_grad
+from ..obs.metrics import PROFILER
+from ..obs.trace import span as _span
 from ..utils.ssim import ssim_tensor, ssim_x_stats
 from .trigger_optimizer import (
     BatchedTriggerMaskOptimizer,
@@ -443,6 +446,8 @@ class MegaInversionPool:
         early-stop tracking from the blended-batch logits, diagnostic losses
         for finishing cells, then a stacked per-item Adam step.
         """
+        prof = PROFILER if PROFILER.enabled else None
+        t_step = _perf_counter() if prof is not None else 0.0
         cfg = lane.config
         batch = lane.images[start:start + cfg.batch_size]
         k = len(items)
@@ -510,6 +515,9 @@ class MegaInversionPool:
 
         self._adam_step(items, raw_pattern, raw_mask, cfg)
         self.stats["fused_steps"] += 1
+        if prof is not None:
+            prof.add_phase("mega.fused_step", _perf_counter() - t_step)
+            prof.add_count("mega_item_steps", k)
 
         for idx, item in enumerate(items):
             item.iteration += 1
@@ -640,7 +648,10 @@ def run_mega_inversion(tasks: Sequence[MegaTask],
         items = engine.submit(task, budget=coarse)
         plans.append({"task": task, "items": items,
                       "coarse": coarse, "total": total})
-    engine.run()
+    with _span("mega.coarse_sweep", tasks=len(tasks),
+               items=int(engine.stats["items"])):
+        with PROFILER.phase("coarse_sweep"):
+            engine.run()
 
     # ------------------------------------------------------------------ #
     # Finalist selection per selection group
@@ -693,7 +704,9 @@ def run_mega_inversion(tasks: Sequence[MegaTask],
                             "coarse_norms": norms})
 
     if refined_items:
-        engine.run()
+        with _span("mega.finalist_resume", finalists=len(refined_items)):
+            with PROFILER.phase("finalist_resume"):
+                engine.run()
 
     # ------------------------------------------------------------------ #
     # Shrinkage calibration: rescale non-finalist coarse norms by the median
@@ -756,6 +769,8 @@ def run_mega_inversion(tasks: Sequence[MegaTask],
         stats.update(engine.stats)
         stats["finalists"] = len(refined_items)
         stats["tasks"] = len(tasks)
+        stats["iterations"] = sum(int(item.iteration)
+                                  for plan in plans for item in plan["items"])
         if cache is not None:
             stats["cache"] = cache.stats()
     return results

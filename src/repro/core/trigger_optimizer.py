@@ -27,6 +27,7 @@ floating-point reduction order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +36,7 @@ from ..nn import functional as F
 from ..nn.layers import Module
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor, enable_grad, no_grad
+from ..obs.metrics import PROFILER
 from ..utils.ssim import ssim, ssim_tensor, ssim_x_stats
 
 __all__ = ["TriggerOptimizationConfig", "TriggerOptimizationResult",
@@ -331,7 +333,9 @@ class BatchedTriggerMaskOptimizer:
         # clean batches and their filter statistics across iterations.
         ssim_cache: dict = {}
 
+        prof = PROFILER if PROFILER.enabled else None
         for iteration in range(cfg.iterations):
+            t_iter = perf_counter() if prof is not None else 0.0
             start = (iteration * cfg.batch_size) % len(self.images)
             batch = self.images[start:start + cfg.batch_size]
             if len(batch) == 0:
@@ -409,6 +413,9 @@ class BatchedTriggerMaskOptimizer:
                 # iteration); the total is the full mega-batch gradient.
                 loss.backward()
             optimizer.step()
+            if prof is not None:
+                prof.add_phase("batched.iteration", perf_counter() - t_iter)
+                prof.add_count("batched_class_steps", k)
 
             # Per-class early stop: freeze classes whose blended batch was
             # fully converged going into this step and shrink the mega-batch
@@ -441,6 +448,9 @@ class BatchedTriggerMaskOptimizer:
             for local_idx, slot in enumerate(active):
                 final_pattern[slot] = pattern_np[local_idx]
                 final_mask[slot] = mask_np[local_idx]
+
+        if prof is not None:
+            prof.add_count("batched_iterations", int(final_iters.sum()))
 
         patterns = np.stack(final_pattern)
         masks = np.stack(final_mask)

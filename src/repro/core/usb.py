@@ -36,6 +36,8 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..nn.layers import Module
+from ..obs.metrics import PROFILER
+from ..obs.trace import span as _span
 from .detection import ReversedTrigger, TriggerReverseEngineeringDetector
 from .mega import _forward_logits
 from .trigger_optimizer import TriggerMaskOptimizer, TriggerOptimizationConfig
@@ -137,9 +139,11 @@ class USBDetector(TriggerReverseEngineeringDetector):
             missing = [t for t in class_list if t not in self._seeded_uaps]
             uap_results = dict(self._seeded_uaps)
             if missing:
-                uap_results.update(generate_targeted_uaps(
-                    model, self.clean_data.images, missing,
-                    config=self.config.uap, rng=self._rng))
+                with _span("usb.uap_sweep", classes=len(missing)):
+                    with PROFILER.phase("uap_sweep"):
+                        uap_results.update(generate_targeted_uaps(
+                            model, self.clean_data.images, missing,
+                            config=self.config.uap, rng=self._rng))
             for target in class_list:
                 self.last_uaps[target] = uap_results[target]
             inits = [TriggerMaskOptimizer.init_from_uap(
@@ -164,16 +168,19 @@ class USBDetector(TriggerReverseEngineeringDetector):
         missing = [t for t in class_list if t not in self._seeded_uaps]
         uap_results = dict(self._seeded_uaps)
         if missing:
-            images = self.clean_data.images
-            if self.activation_cache is not None:
-                clean_logits = self.activation_cache.clean_logits(
-                    model, images, model_key=self.model_key,
-                    images_key=self._images_key())
-            else:
-                clean_logits = _forward_logits(model, images)
-            uap_results.update(generate_targeted_uaps(
-                model, images, missing, config=self.config.uap,
-                rng=self._rng, clean_logits=clean_logits, final_eval=False))
+            with _span("usb.uap_sweep", classes=len(missing)):
+                with PROFILER.phase("uap_sweep"):
+                    images = self.clean_data.images
+                    if self.activation_cache is not None:
+                        clean_logits = self.activation_cache.clean_logits(
+                            model, images, model_key=self.model_key,
+                            images_key=self._images_key())
+                    else:
+                        clean_logits = _forward_logits(model, images)
+                    uap_results.update(generate_targeted_uaps(
+                        model, images, missing, config=self.config.uap,
+                        rng=self._rng, clean_logits=clean_logits,
+                        final_eval=False))
         for target in class_list:
             self.last_uaps[target] = uap_results[target]
         inits = [TriggerMaskOptimizer.init_from_uap(

@@ -52,11 +52,20 @@ def format_table(rows: Iterable[Dict[str, object]],
 
 
 def format_rows(rows: Iterable[Dict[str, object]], title: str = "") -> str:
-    """Format rows using whatever keys the first row provides."""
+    """Format rows using the union of their keys, in first-seen order.
+
+    Rows may be heterogeneous (e.g. sequential timings carry per-class
+    columns while joint timings carry per-phase columns); missing cells
+    render as ``N/A``.
+    """
     rows = list(rows)
     if not rows:
         return title or "(no rows)"
-    columns = list(rows[0].keys())
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
     return format_table(rows, columns=columns, title=title)
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.detection import INVERSION_MODES, TriggerReverseEngineeringDetector
 from ..data.dataset import Dataset
 from ..nn.layers import Module
+from ..obs.metrics import PROFILER
 
 __all__ = ["ClassTiming", "TimingReport", "measure_detection_times"]
 
@@ -53,6 +54,12 @@ class ClassTiming:
     #: Classes the joint scan covered (keys of ``per_class_seconds``
     #: otherwise).
     classes_timed: Tuple[int, ...] = ()
+    #: Per-phase wall clock of a joint scan (``uap_sweep``, ``coarse_sweep``,
+    #: ``finalist_resume``, ``batched.iteration``...), recorded by the
+    #: :data:`repro.obs.metrics.PROFILER`.  Unlike a per-class split, the
+    #: phase split *is* measurable for joint engines — phases run back to
+    #: back inside the tensor program.  Empty for sequential measurements.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -103,6 +110,9 @@ class TimingReport:
                                       "mean_s": round(timing.mean_seconds, 2)}
             for cls, seconds in sorted(timing.per_class_seconds.items()):
                 row[f"class_{cls}_s"] = round(seconds, 2)
+            for phase, seconds in sorted(timing.phase_seconds.items()):
+                column = phase.replace(".", "_")
+                row[f"phase_{column}_s"] = round(seconds, 3)
             out.append(row)
         return out
 
@@ -156,23 +166,39 @@ def measure_detection_times(model: Module,
             per_class: Dict[int, float] = {}
             used_mode = "sequential"
             total: Optional[float] = None
+            phases: Dict[str, float] = {}
             if resolved != "sequential" and len(class_list) > 1:
-                start = time.perf_counter()
-                triggers = None
-                if resolved == "mega":
-                    triggers = detector.reverse_engineer_mega(model,
-                                                              class_list)
+                # Joint engines report per-phase wall clock (coarse sweep vs
+                # finalist resume vs UAP seeding) through the profiler — the
+                # one split that *is* measurable when classes interleave.
+                prior_profiling = PROFILER.enabled
+                PROFILER.enable()
+                PROFILER.reset()
+                try:
+                    start = time.perf_counter()
+                    triggers = None
+                    if resolved == "mega":
+                        triggers = detector.reverse_engineer_mega(model,
+                                                                  class_list)
+                        if triggers is not None:
+                            used_mode = "mega"
+                    if triggers is None:
+                        triggers = detector.reverse_engineer_batch(model,
+                                                                   class_list)
+                        if triggers is not None:
+                            used_mode = "batched"
                     if triggers is not None:
-                        used_mode = "mega"
-                if triggers is None:
-                    triggers = detector.reverse_engineer_batch(model,
-                                                               class_list)
-                    if triggers is not None:
-                        used_mode = "batched"
-                if triggers is not None:
-                    total = time.perf_counter() - start
+                        total = time.perf_counter() - start
+                        snapshot = PROFILER.snapshot().get("phases", {})
+                        phases = {phase: round(float(entry["seconds"]), 6)
+                                  for phase, entry in snapshot.items()}
+                finally:
+                    PROFILER.reset()
+                    if not prior_profiling:
+                        PROFILER.disable()
             if total is None:
                 used_mode = "sequential"
+                phases = {}
                 for target in class_list:
                     start = time.perf_counter()
                     detector.reverse_engineer(model, target)
@@ -180,7 +206,8 @@ def measure_detection_times(model: Module,
             timings.append(ClassTiming(
                 detector=name, per_class_seconds=per_class,
                 batched=used_mode != "sequential", mode=used_mode,
-                total=total, classes_timed=tuple(class_list)))
+                total=total, classes_timed=tuple(class_list),
+                phase_seconds=phases))
         return TimingReport(case_name=case_name, timings=timings)
     finally:
         for param, flag in zip(model.parameters(), was_grad):

@@ -1,0 +1,105 @@
+"""Render persisted span trees for ``python -m repro trace``."""
+
+from typing import Any, Dict, List, Mapping
+
+__all__ = [
+    "render_trace",
+    "summarize_traces",
+    "format_trace_summaries",
+]
+
+
+def _children_by_parent(spans: List[Mapping[str, Any]]
+                        ) -> Dict[str, List[Mapping[str, Any]]]:
+    """Index spans by parent id; unknown parents are re-rooted.
+
+    A span whose ``parent_id`` never appears in the trace (e.g. its parent
+    was lost to a killed child) is treated as a root rather than dropped.
+    """
+    known = {span.get("span_id") for span in spans}
+    children: Dict[str, List[Mapping[str, Any]]] = {}
+    for span in spans:
+        parent = span.get("parent_id") or ""
+        if parent and parent not in known:
+            parent = ""
+        children.setdefault(parent, []).append(span)
+    for bucket in children.values():
+        bucket.sort(key=lambda item: (item.get("start", 0.0),
+                                      item.get("span_id", "")))
+    return children
+
+
+def _format_span(span: Mapping[str, Any]) -> str:
+    duration_ms = float(span.get("duration", 0.0)) * 1000.0
+    text = f"{span.get('name', '?')}  {duration_ms:.1f}ms  pid={span.get('pid', '?')}"
+    attrs = span.get("attrs") or {}
+    if attrs:
+        body = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        text += f"  [{body}]"
+    return text
+
+
+def render_trace(spans: List[Mapping[str, Any]], trace_id: str) -> str:
+    """ASCII tree of one trace's spans, children indented under parents.
+
+    Args:
+        spans: Span dicts (any traces; filtered to ``trace_id``).
+        trace_id: The trace to render.
+
+    Returns:
+        A multi-line tree, or a one-line notice when the trace is empty.
+    """
+    mine = [span for span in spans if span.get("trace_id") == trace_id]
+    if not mine:
+        return f"trace {trace_id}: no spans found"
+    children = _children_by_parent(mine)
+    lines = [f"trace {trace_id} ({len(mine)} spans)"]
+
+    def _walk(parent: str, prefix: str) -> None:
+        bucket = children.get(parent, [])
+        for index, span in enumerate(bucket):
+            last = index == len(bucket) - 1
+            branch = "`-- " if last else "|-- "
+            lines.append(prefix + branch + _format_span(span))
+            _walk(span.get("span_id", ""), prefix + ("    " if last else "|   "))
+
+    _walk("", "")
+    return "\n".join(lines)
+
+
+def summarize_traces(spans: List[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """One row per trace: id, root span name, span/pid counts, duration.
+
+    Rows are ordered by trace start time (earliest first).
+    """
+    by_trace: Dict[str, List[Mapping[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(str(span.get("trace_id", "")), []).append(span)
+    rows = []
+    for trace_id, mine in by_trace.items():
+        roots = [span for span in mine if not span.get("parent_id")]
+        anchor = min(mine, key=lambda item: item.get("start", 0.0))
+        root = roots[0] if roots else anchor
+        rows.append({
+            "trace_id": trace_id,
+            "root": root.get("name", "?"),
+            "spans": len(mine),
+            "pids": len({span.get("pid") for span in mine}),
+            "duration_s": round(float(root.get("duration", 0.0)), 4),
+            "start": float(anchor.get("start", 0.0)),
+        })
+    rows.sort(key=lambda row: row["start"])
+    return rows
+
+
+def format_trace_summaries(rows: List[Mapping[str, Any]]) -> str:
+    """Fixed-width table for the ``repro trace`` listing."""
+    if not rows:
+        return "no traces recorded"
+    header = f"{'trace':<18} {'root':<22} {'spans':>5} {'pids':>4} {'seconds':>8}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row['trace_id']:<18} {str(row['root'])[:22]:<22} "
+                     f"{row['spans']:>5} {row['pids']:>4} "
+                     f"{row['duration_s']:>8.3f}")
+    return "\n".join(lines)

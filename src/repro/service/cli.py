@@ -15,6 +15,9 @@ Subcommands::
         --auto-repair
     python -m repro store compact --store scans/
     python -m repro store merge --store scans/ --source other_store/
+    python -m repro trace --store scans/            # list recorded traces
+    python -m repro trace <trace-id> --store scans/ # render one span tree
+    python -m repro metrics --store scans/          # Prometheus exposition
 
 ``scan`` runs one detector on one saved model; ``grid`` fans a
 checkpoint x detector matrix across the worker pool; ``repair`` runs the
@@ -26,7 +29,14 @@ the scenario axis (``--repair-strategies`` turns it into a repair sweep
 with true ASR before/after); ``watch`` runs the drop-directory daemon
 (:mod:`repro.service.daemon`; ``--auto-repair`` repairs every flagged
 checkpoint automatically); ``store compact`` / ``store merge`` maintain a
-store in place.
+store in place; ``trace`` renders the span trees recorded in
+``spans.jsonl`` beside the store; ``metrics`` renders the same Prometheus
+exposition the daemon writes to ``metrics.prom`` each cycle.
+
+Telemetry (spans + per-phase profiles) is on by default for service
+commands; disable it per invocation with ``--no-telemetry`` or globally
+with ``REPRO_TELEMETRY=0``.  The global ``--log-level`` flag (or
+``REPRO_LOG_LEVEL``) controls the shared ``repro`` logger.
 
 All commands share one result store (``--store``).  The default is the
 legacy single-file ``scan_results.jsonl``; point ``--store`` at a directory
@@ -50,11 +60,17 @@ from ..attacks.base import SCENARIO_ALL_TO_ONE, SCENARIOS
 from ..core.detection import INVERSION_MODES
 from ..data import DATASET_SPECS
 from ..models import MODEL_BUILDERS
+from ..obs.metrics import build_service_registry, summarize_telemetry
+from ..obs.render import (format_trace_summaries, render_trace,
+                          summarize_traces)
+from ..obs.trace import read_spans
+from ..utils.logging import set_log_level
 from .daemon import DaemonConfig, WatchDaemon, default_stats_path
+from .locks import atomic_write
 from .records import KNOWN_DETECTORS, RepairRecord, ScanRecord, ScanRequest
 from .repair import RepairRequest, run_repairs
 from .scheduler import ScanScheduler
-from .store import open_store
+from .store import SPANS_NAME, open_store, sidecar_path
 
 #: Repair strategies the CLI offers (mirrors repro.mitigation.STRATEGIES
 #: without importing the mitigation package at CLI-import time).
@@ -138,6 +154,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="Worker processes; 0/1 runs scans inline (serial).")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="Emit machine-readable JSON instead of tables.")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="Disable trace spans and per-phase profiling "
+                             "for this invocation (REPRO_TELEMETRY=0 "
+                             "disables them globally).")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="USB/NC/TABOR backdoor-scanning service.")
+    parser.add_argument("--log-level", default=None,
+                        help="Logging level for the shared 'repro' logger "
+                             "(DEBUG/INFO/WARNING/ERROR; default: "
+                             "REPRO_LOG_LEVEL, then INFO).")
     commands = parser.add_subparsers(dest="command", required=True)
 
     scan = commands.add_parser(
@@ -214,10 +238,34 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--repair-strategy", default="both",
                        choices=list(REPAIR_STRATEGIES),
                        help="Strategy used by --auto-repair.")
+    watch.add_argument("--no-telemetry", action="store_true",
+                       help="Disable trace spans, per-phase profiling, and "
+                            "the metrics.prom export.")
     _add_scan_options(watch)
     watch.add_argument("--store", default=DEFAULT_STORE,
                        help="Result store; use a directory for the sharded "
                             "multi-writer layout.")
+
+    trace = commands.add_parser(
+        "trace", help="Render recorded trace spans (spans.jsonl beside the "
+                      "store).")
+    trace.add_argument("trace_id", nargs="?", default=None,
+                       help="Trace id to render as a span tree (omit to list "
+                            "recorded traces).")
+    trace.add_argument("--store", default=DEFAULT_STORE,
+                       help="Result store whose spans.jsonl sidecar to read.")
+
+    metrics = commands.add_parser(
+        "metrics", help="Render service metrics in Prometheus text format.")
+    metrics.add_argument("--store", default=DEFAULT_STORE,
+                         help="Result store the metric families are built "
+                              "from.")
+    metrics.add_argument("--stats", default=None,
+                         help="Daemon stats endpoint file (default: derived "
+                              "from --store when it exists).")
+    metrics.add_argument("--output", default=None,
+                         help="Write the exposition atomically to this file "
+                              "instead of stdout.")
 
     store = commands.add_parser(
         "store", help="Maintain a result store in place.")
@@ -293,7 +341,11 @@ def _request_from_args(args: argparse.Namespace, checkpoint: str,
 def _make_scheduler(args: argparse.Namespace) -> ScanScheduler:
     """Build the scheduler (and open the store) a command asked for."""
     store = None if args.no_store else open_store(args.store)
-    return ScanScheduler(store=store, workers=args.workers)
+    telemetry = False if getattr(args, "no_telemetry", False) else None
+    span_sink = (sidecar_path(args.store, SPANS_NAME)
+                 if store is not None else None)
+    return ScanScheduler(store=store, workers=args.workers,
+                         telemetry=telemetry, span_sink=span_sink)
 
 
 def _print_records(records: Sequence[ScanRecord], as_json: bool,
@@ -344,6 +396,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if not args.no_store:
         print(f"  store: {args.store} ({len(scheduler.store)} record(s); "
               f"hits={scheduler.cache_hits} misses={scheduler.cache_misses})")
+    trace_id = (record.telemetry or {}).get("trace_id")
+    if trace_id:
+        print(f"  trace: {trace_id} "
+              f"(python -m repro trace {trace_id} --store {args.store})")
     return 0
 
 
@@ -443,6 +499,10 @@ def _print_stats(stats: dict) -> None:
           f"retries: {stats.get('retries', 0)}  "
           f"queue depth: {stats.get('queue_depth', 0)}  "
           f"checkpoints seen: {stats.get('checkpoints_seen', 0)}")
+    if "activation_cache_hits" in stats:
+        print(f"  activation cache: {stats.get('activation_cache_hits', 0)} "
+              f"hit(s) / {stats.get('activation_cache_misses', 0)} miss(es) "
+              f"(ratio {stats.get('activation_cache_hit_ratio', 0.0):.2f})")
     if stats.get("updated_at"):
         print(f"  updated: {stats['updated_at']}")
 
@@ -463,10 +523,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
                    if r.detector.lower() == args.detector.lower()]
     stats = _load_stats(args)
     if args.as_json:
-        payload = {"records": [r.to_dict() for r in scans],
-                   "repairs": [r.to_dict() for r in repairs]}
-        if stats is not None:
-            payload["stats"] = {k: v for k, v in stats.items() if k != "_path"}
+        scan_rows = [r.to_dict() for r in scans]
+        clean_stats = ({k: v for k, v in stats.items() if k != "_path"}
+                       if stats is not None else None)
+        payload = {"records": scan_rows,
+                   "repairs": [r.to_dict() for r in repairs],
+                   "metrics": summarize_telemetry(scan_rows, clean_stats)}
+        if clean_stats is not None:
+            payload["stats"] = clean_stats
         print(json.dumps(payload, indent=2))
         return 0
     if not scans and not repairs:
@@ -514,7 +578,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         max_retries=args.retries, settle_polls=args.settle_polls,
         stats_path=args.stats, request_options=request_options,
         auto_repair=args.auto_repair,
-        repair_options={"strategy": args.repair_strategy})
+        repair_options={"strategy": args.repair_strategy},
+        telemetry=False if args.no_telemetry else None)
     daemon = WatchDaemon(config)
     print(f"watching {args.directory} -> store {args.store} "
           f"(detectors: {', '.join(detectors)}; "
@@ -543,6 +608,43 @@ def _cmd_store(args: argparse.Namespace) -> int:
     print(f"{args.store}: merged {result['merged']} record(s) from "
           f"{args.source} ({result['skipped']} already-present key(s) "
           "skipped).")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: list recorded traces, or render one trace's span tree."""
+    spans_path = sidecar_path(args.store, SPANS_NAME)
+    if args.trace_id:
+        spans = read_spans(spans_path, trace_id=args.trace_id)
+        if not spans:
+            print(f"{spans_path}: no spans recorded for trace "
+                  f"'{args.trace_id}'.", file=sys.stderr)
+            return 1
+        print(render_trace(spans, args.trace_id))
+        return 0
+    spans = read_spans(spans_path)
+    if not spans:
+        print(f"{spans_path}: no spans recorded (telemetry off, or no "
+              "scans ran yet).")
+        return 0
+    print(format_trace_summaries(summarize_traces(spans)))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics``: Prometheus text exposition of the store + daemon stats."""
+    store = open_store(args.store)
+    stats = _load_stats(args)
+    if stats is not None:
+        stats = {k: v for k, v in stats.items() if k != "_path"}
+    rows = [record.to_dict() for record in store.scan_records()]
+    text = build_service_registry(rows, stats).render()
+    if args.output:
+        atomic_write(args.output, text)
+        print(f"wrote {len(text.splitlines())} sample/header line(s) to "
+              f"{args.output}")
+        return 0
+    sys.stdout.write(text)
     return 0
 
 
@@ -634,9 +736,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         Process exit code (0 success, 1 runtime error, 2 usage error).
     """
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        set_log_level(args.log_level)
     handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "repair": _cmd_repair,
                 "report": _cmd_report, "experiment": _cmd_experiment,
-                "watch": _cmd_watch, "store": _cmd_store}
+                "watch": _cmd_watch, "store": _cmd_store,
+                "trace": _cmd_trace, "metrics": _cmd_metrics}
     try:
         return handlers[args.command](args)
     except (OSError, KeyError, ValueError) as error:

@@ -29,10 +29,12 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from datetime import datetime, timezone
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import build_service_registry
+from ..obs.trace import TRACER, new_trace_id
 from ..utils.logging import get_logger
 from .locks import atomic_write
 from .records import RepairRecord, ScanRecord, ScanRequest, record_from_dict
@@ -45,7 +47,7 @@ from .scheduler import (
     execute_resolved,
     resolve_request,
 )
-from .store import STATS_NAME, open_store
+from .store import METRICS_NAME, SPANS_NAME, STATS_NAME, open_store, sidecar_path
 
 __all__ = ["CheckpointWatcher", "DaemonConfig", "WatchDaemon", "ScanJob",
            "RepairJob", "default_stats_path", "run_scan_in_child"]
@@ -197,6 +199,9 @@ class DaemonConfig:
         repair_fn: Module-level callable mapping a resolved repair to a
             :class:`~repro.service.records.RepairRecord`; overridable for
             tests.
+        telemetry: Record trace spans (``spans.jsonl`` beside the store) and
+            export ``metrics.prom`` each cycle.  ``None`` follows the
+            ``REPRO_TELEMETRY`` environment switch.
     """
 
     watch_dir: str
@@ -213,6 +218,7 @@ class DaemonConfig:
     auto_repair: bool = False
     repair_options: Dict[str, Any] = field(default_factory=dict)
     repair_fn: Callable[..., RepairRecord] = execute_repair
+    telemetry: Optional[bool] = None
 
 
 def _child_entry(conn, scan_fn, resolved) -> None:
@@ -285,8 +291,14 @@ class WatchDaemon:
             store = open_store(config.store_path)
             scheduler = ScanScheduler(store=store,
                                       job_timeout=config.job_timeout,
-                                      job_retries=config.max_retries)
+                                      job_retries=config.max_retries,
+                                      telemetry=config.telemetry)
         self.scheduler = scheduler
+        self.telemetry = self.scheduler.telemetry
+        self.spans_path = sidecar_path(config.store_path, SPANS_NAME)
+        self.metrics_path = sidecar_path(config.store_path, METRICS_NAME)
+        if self.telemetry:
+            TRACER.enable()
         self.watcher = CheckpointWatcher(config.watch_dir,
                                          patterns=config.patterns,
                                          settle_polls=config.settle_polls)
@@ -344,58 +356,87 @@ class WatchDaemon:
         is_repair = isinstance(job, RepairJob)
         metrics = self.scheduler.metrics
         store = self.scheduler.store
+        # Each job is one trace: the parent's root span plus whatever the
+        # child process records under the stamped (trace_id, parent_span_id)
+        # — its spans ride home on the record dict through the pipe.
+        root = (TRACER.begin("daemon.job", trace_id=new_trace_id(),
+                             checkpoint=job.checkpoint, detector=job.detector,
+                             kind="repair" if is_repair else "scan")
+                if self.telemetry else None)
         try:
-            if is_repair:
-                resolved = resolve_repair(self._repair_request_for(job))
-            else:
-                resolved = resolve_request(self._request_for(job))
-        except Exception as error:  # unreadable checkpoint, bad metadata...
-            _LOG.warning("%s [%s]: cannot resolve (%s)", job.checkpoint,
-                         job.detector, error)
-            metrics.failures += 1
-            return
-        cached = store.lookup(resolved.key) if store is not None else None
-        if cached is not None:
-            metrics.record_hit()
-            _LOG.info("%s [%s]: cache hit", job.checkpoint, job.detector)
-            if not is_repair and self.config.auto_repair and \
-                    cached.is_backdoored:
-                self._enqueue_repair(job)
-            return
-        start = time.monotonic()
-        worker_fn = (self.config.repair_fn if is_repair
-                     else self.config.scan_fn)
-        try:
-            record = run_scan_in_child(worker_fn, resolved,
-                                       self.config.job_timeout)
-        except Exception as error:
-            if queued.attempts < self.config.max_retries:
-                metrics.retries += 1
-                _LOG.warning("%s [%s]: %s — retrying (%d/%d)", job.checkpoint,
-                             job.detector, error, queued.attempts + 1,
-                             self.config.max_retries)
-                self.queue.requeue(queued)
-            else:
+            try:
+                with TRACER.context_of(root):
+                    if is_repair:
+                        resolved = resolve_repair(self._repair_request_for(job))
+                    else:
+                        resolved = resolve_request(self._request_for(job))
+            except Exception as error:  # unreadable checkpoint, bad metadata...
+                _LOG.warning("%s [%s]: cannot resolve (%s)", job.checkpoint,
+                             job.detector, error)
                 metrics.failures += 1
-                _LOG.error("%s [%s]: giving up after %d attempt(s): %s",
-                           job.checkpoint, job.detector, queued.attempts + 1,
-                           error)
-            return
-        metrics.record_miss(time.monotonic() - start)
-        if store is not None:
-            store.add(record)
-        if is_repair:
-            self.repairs_completed += 1
-            _LOG.info("%s [%s] repair -> %s (%.1fs)", job.checkpoint,
-                      job.detector,
-                      "success" if record.success else "NOT repaired",
+                return
+            if root is not None:
+                resolved = dataclass_replace(resolved, trace_id=root.trace_id,
+                                             parent_span_id=root.span_id)
+            cached = store.lookup(resolved.key) if store is not None else None
+            if cached is not None:
+                if root is not None:
+                    root.attrs["cache_hit"] = True
+                metrics.record_hit()
+                _LOG.info("%s [%s]: cache hit", job.checkpoint, job.detector)
+                if not is_repair and self.config.auto_repair and \
+                        cached.is_backdoored:
+                    self._enqueue_repair(job)
+                return
+            start = time.monotonic()
+            worker_fn = (self.config.repair_fn if is_repair
+                         else self.config.scan_fn)
+            try:
+                record = run_scan_in_child(worker_fn, resolved,
+                                           self.config.job_timeout)
+            except Exception as error:
+                if queued.attempts < self.config.max_retries:
+                    metrics.retries += 1
+                    _LOG.warning("%s [%s]: %s — retrying (%d/%d)",
+                                 job.checkpoint, job.detector, error,
+                                 queued.attempts + 1, self.config.max_retries)
+                    self.queue.requeue(queued)
+                else:
+                    metrics.failures += 1
+                    _LOG.error("%s [%s]: giving up after %d attempt(s): %s",
+                               job.checkpoint, job.detector,
+                               queued.attempts + 1, error)
+                return
+            child_spans = record.pop_spans()
+            if self.telemetry:
+                TRACER.add(child_spans)
+                cache_stats = ((record.telemetry or {}).get("pool") or {}
+                               ).get("cache") or {}
+                if cache_stats:
+                    # The child's cache is process-private, so its counters
+                    # are already per-job deltas.
+                    metrics.record_activation_cache(
+                        cache_stats.get("hits", 0),
+                        cache_stats.get("misses", 0))
+            metrics.record_miss(time.monotonic() - start)
+            if store is not None:
+                store.add(record)
+            if is_repair:
+                self.repairs_completed += 1
+                _LOG.info("%s [%s] repair -> %s (%.1fs)", job.checkpoint,
+                          job.detector,
+                          "success" if record.success else "NOT repaired",
+                          record.seconds)
+                return
+            _LOG.info("%s [%s] -> %s (%.1fs)", job.checkpoint, job.detector,
+                      "BACKDOORED" if record.is_backdoored else "clean",
                       record.seconds)
-            return
-        _LOG.info("%s [%s] -> %s (%.1fs)", job.checkpoint, job.detector,
-                  "BACKDOORED" if record.is_backdoored else "clean",
-                  record.seconds)
-        if self.config.auto_repair and record.is_backdoored:
-            self._enqueue_repair(job)
+            if self.config.auto_repair and record.is_backdoored:
+                self._enqueue_repair(job)
+        finally:
+            if root is not None:
+                TRACER.finish(root)
+                TRACER.flush(self.spans_path)
 
     # ------------------------------------------------------------------ #
     # Loop
@@ -444,7 +485,12 @@ class WatchDaemon:
     def stats(self) -> Dict[str, Any]:
         """The current stats payload (the endpoint-file schema)."""
         payload: Dict[str, Any] = {"format": STATS_FORMAT}
-        payload.update(self.scheduler.metrics.snapshot())
+        snapshot = self.scheduler.metrics.snapshot()
+        payload.update(snapshot)
+        # Nested copy of the same snapshot: the schema the metrics exporter
+        # and ``report --json`` consume (the flat keys stay for older
+        # readers of the endpoint file).
+        payload["metrics"] = snapshot
         payload.update({
             "queue_depth": len(self.queue),
             "checkpoints_seen": self.checkpoints_seen,
@@ -459,6 +505,22 @@ class WatchDaemon:
         return payload
 
     def write_stats(self) -> None:
-        """Atomically rewrite the stats endpoint file."""
+        """Atomically rewrite the stats endpoint file (and ``metrics.prom``).
+
+        The Prometheus exposition beside the store is rebuilt from the same
+        inputs every cycle — store rows plus the stats payload — so a
+        scrape never sees partially updated families.
+        """
+        stats = self.stats()
         atomic_write(self.stats_path,
-                     json.dumps(self.stats(), indent=2, sort_keys=True) + "\n")
+                     json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        if not self.telemetry:
+            return
+        store = self.scheduler.store
+        try:
+            rows = ([record.to_dict() for record in store.scan_records()]
+                    if store is not None else [])
+            registry = build_service_registry(rows, stats)
+            atomic_write(self.metrics_path, registry.render())
+        except Exception as error:  # noqa: BLE001 - stats must keep flowing
+            _LOG.warning("metrics.prom export failed: %s", error)

@@ -123,18 +123,29 @@ class ScanRecord:
     detection: Dict[str, Any] = field(default_factory=dict)
     #: Free-form numeric annotations (fleet runs store accuracy/ASR here).
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Telemetry block: trace id, per-phase profiler breakdown, iteration
+    #: counts, and (on mega runs) the pool/activation-cache stats.  Persisted
+    #: so ``report`` / ``repro metrics`` can aggregate offline.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
     created_at: str = ""
     worker_pid: int = 0
     #: Transient: True when this record was served from the store instead of
     #: being recomputed.  Always persisted as False.
     cache_hit: bool = False
+    #: Transient transport for finished worker-side trace spans: serialized
+    #: through :meth:`to_dict` so they survive the pipe/pickle hop back to
+    #: the parent, which pops them into the span sink before ``store.add``
+    #: (the store additionally strips them from persisted lines).
+    spans: list = field(default_factory=list)
 
     @classmethod
     def from_detection(cls, *, key: str, fingerprint: str, config_digest: str,
                        checkpoint: str, model: str, dataset: str,
                        detection: DetectionResult, created_at: str = "",
                        worker_pid: int = 0,
-                       extra: Optional[Dict[str, float]] = None) -> "ScanRecord":
+                       extra: Optional[Dict[str, float]] = None,
+                       telemetry: Optional[Dict[str, Any]] = None
+                       ) -> "ScanRecord":
         """Build the persisted record for a freshly computed detection."""
         return cls(
             key=key,
@@ -150,9 +161,15 @@ class ScanRecord:
             seconds=float(detection.seconds_total),
             detection=detection.to_compact_dict(),
             extra=dict(extra or {}),
+            telemetry=dict(telemetry or {}),
             created_at=created_at,
             worker_pid=worker_pid,
         )
+
+    def pop_spans(self) -> list:
+        """Detach and return the transient worker-side span dicts."""
+        spans, self.spans = self.spans, []
+        return spans
 
     def to_detection_result(self) -> DetectionResult:
         """Rehydrate the (compact) :class:`DetectionResult` for this record."""
@@ -226,13 +243,22 @@ class RepairRecord:
     #: Full compact repair report (``RepairReport.to_dict()``).
     report: Dict[str, Any] = field(default_factory=dict)
     seconds: float = 0.0
+    #: Telemetry block mirroring :attr:`ScanRecord.telemetry`.
+    telemetry: Dict[str, Any] = field(default_factory=dict)
     created_at: str = ""
     worker_pid: int = 0
     #: Transient: served from the store instead of recomputed.
     cache_hit: bool = False
+    #: Transient worker-side trace spans (see :attr:`ScanRecord.spans`).
+    spans: list = field(default_factory=list)
 
     #: Marker value stored under the ``"record"`` key of every line.
     RECORD_TYPE = "repair"
+
+    def pop_spans(self) -> list:
+        """Detach and return the transient worker-side span dicts."""
+        spans, self.spans = self.spans, []
+        return spans
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe payload: one store line, ``"record": "repair"``-tagged."""

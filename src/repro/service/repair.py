@@ -31,7 +31,8 @@ import dataclasses
 import io
 import os
 import time
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import (dataclass, field as dataclass_field,
+                         replace as dataclass_replace)
 from datetime import datetime, timezone
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -42,6 +43,8 @@ from ..data import DATASET_SPECS, load_dataset
 from ..data.dataset import Dataset
 from ..nn.layers import Module
 from ..nn.serialization import METADATA_KEY, load_checkpoint
+from ..obs.metrics import PROFILER
+from ..obs.trace import TRACER, new_trace_id, span as _span, write_spans
 from ..utils.logging import get_logger
 from .fingerprint import digest_config, fingerprint_model, scan_key
 from .locks import atomic_write
@@ -137,6 +140,10 @@ class ResolvedRepair:
     key: str
     #: Where the repaired checkpoint will be written.
     output: str
+    #: Telemetry context stamped before dispatch (see
+    #: :class:`~repro.service.scheduler.ResolvedScan`); never keyed.
+    trace_id: str = ""
+    parent_span_id: str = ""
 
 
 def default_repair_output(checkpoint: str, digest: str) -> str:
@@ -231,49 +238,98 @@ def execute_repair(resolved: ResolvedRepair) -> RepairRecord:
     scan worker's RNG sequence, so its verdict matches a plain scan of the
     same request; the repaired checkpoint is written atomically and only
     when a repair was applied and survived the guardrail.
+
+    Telemetry crosses the process boundary by value exactly as in
+    :func:`~repro.service.scheduler.execute_resolved`: a forked worker
+    adopts the trace stamped on ``resolved`` and its stage spans
+    (``repair.scan`` / ``repair.apply`` / ``repair.save``) ride back on the
+    record.
     """
     from ..mitigation import repair_model
 
     request = resolved.request
     scan_request = request.scan
-    rng = np.random.default_rng(scan_request.seed)
-    state, metadata = load_checkpoint(scan_request.checkpoint)
-    model = _build_scan_model(resolved.scan, state)
-    clean = _clean_sample(resolved.scan, rng)
-    detector = build_request_detector(scan_request, clean, rng)
-    classes = (list(scan_request.classes)
-               if scan_request.classes is not None else None)
-    pairs = None
-    if scan_request.scenario != SCENARIO_ALL_TO_ONE:
-        candidates = (classes if classes is not None
-                      else list(range(clean.num_classes)))
-        pairs = scan_pairs_for(scan_request.scenario, candidates,
-                               source_classes=scan_request.source_classes)
-    start = time.perf_counter()
-    detection = detector.detect(model, classes=classes, pairs=pairs)
-    eval_data = _eval_sample(resolved.scan)
-    report = repair_model(
-        model, detection, clean, plan=request.plan(),
-        detector=detector if request.rescan else None,
-        eval_data=eval_data, rng=rng)
-    seconds = time.perf_counter() - start
+    TRACER.check_fork()
+    PROFILER.check_fork()
+    adopted = bool(resolved.trace_id) and not TRACER.enabled
+    if adopted:
+        TRACER.enable()
+        PROFILER.enable()
+    profiling = PROFILER.enabled
+    if profiling:
+        PROFILER.reset()
+    try:
+        with TRACER.context(resolved.trace_id, resolved.parent_span_id):
+            with _span("worker.repair", detector=scan_request.detector,
+                       strategy=request.strategy):
+                rng = np.random.default_rng(scan_request.seed)
+                state, metadata = load_checkpoint(scan_request.checkpoint)
+                model = _build_scan_model(resolved.scan, state)
+                clean = _clean_sample(resolved.scan, rng)
+                detector = build_request_detector(scan_request, clean, rng)
+                classes = (list(scan_request.classes)
+                           if scan_request.classes is not None else None)
+                pairs = None
+                if scan_request.scenario != SCENARIO_ALL_TO_ONE:
+                    candidates = (classes if classes is not None
+                                  else list(range(clean.num_classes)))
+                    pairs = scan_pairs_for(scan_request.scenario, candidates,
+                                           source_classes=scan_request.source_classes)
+                start = time.perf_counter()
+                with _span("repair.scan", detector=scan_request.detector):
+                    detection = detector.detect(model, classes=classes,
+                                                pairs=pairs)
+                eval_data = _eval_sample(resolved.scan)
+                with _span("repair.apply", strategy=request.strategy,
+                           rescan=bool(request.rescan)):
+                    report = repair_model(
+                        model, detection, clean, plan=request.plan(),
+                        detector=detector if request.rescan else None,
+                        eval_data=eval_data, rng=rng)
+                seconds = time.perf_counter() - start
 
-    repaired_checkpoint: Optional[str] = None
-    repaired_fingerprint: Optional[str] = None
-    if report.repaired and not report.rolled_back:
-        repair_meta = dict(metadata)
-        repair_meta.update({
-            "repaired_from": scan_request.checkpoint,
-            "repair_strategy": request.strategy,
-            "repair_key": resolved.key,
-            "repair_detector": scan_request.detector.lower(),
-        })
-        atomic_save_model(model, resolved.output, metadata=repair_meta)
-        repaired_checkpoint = resolved.output
-        repaired_fingerprint = fingerprint_model(model)
-        _LOG.info("%s: repaired checkpoint written to %s",
-                  scan_request.checkpoint, resolved.output)
+                repaired_checkpoint: Optional[str] = None
+                repaired_fingerprint: Optional[str] = None
+                if report.repaired and not report.rolled_back:
+                    repair_meta = dict(metadata)
+                    repair_meta.update({
+                        "repaired_from": scan_request.checkpoint,
+                        "repair_strategy": request.strategy,
+                        "repair_key": resolved.key,
+                        "repair_detector": scan_request.detector.lower(),
+                    })
+                    with _span("repair.save", output=resolved.output):
+                        atomic_save_model(model, resolved.output,
+                                          metadata=repair_meta)
+                    repaired_checkpoint = resolved.output
+                    repaired_fingerprint = fingerprint_model(model)
+                    _LOG.info("%s: repaired checkpoint written to %s",
+                              scan_request.checkpoint, resolved.output)
 
+        telemetry: Dict[str, Any] = {}
+        if profiling:
+            telemetry = dict(PROFILER.snapshot())
+            if resolved.trace_id:
+                telemetry["trace_id"] = resolved.trace_id
+        record = _repair_record(resolved, detection, report, seconds,
+                                repaired_checkpoint, repaired_fingerprint,
+                                telemetry)
+        if adopted:
+            record.spans = TRACER.drain()
+        return record
+    finally:
+        if adopted:
+            TRACER.reset()
+            PROFILER.disable()
+            PROFILER.reset()
+
+
+def _repair_record(resolved: ResolvedRepair, detection, report,
+                   seconds: float, repaired_checkpoint: Optional[str],
+                   repaired_fingerprint: Optional[str],
+                   telemetry: Dict[str, Any]) -> RepairRecord:
+    request = resolved.request
+    scan_request = request.scan
     return RepairRecord(
         key=resolved.key,
         fingerprint=resolved.scan.fingerprint,
@@ -295,6 +351,7 @@ def execute_repair(resolved: ResolvedRepair) -> RepairRecord:
         seconds=seconds,
         created_at=_utc_now(),
         worker_pid=os.getpid(),
+        telemetry=telemetry,
     )
 
 
@@ -326,9 +383,30 @@ def run_repairs(scheduler: ScanScheduler,
     Returns:
         One :class:`~repro.service.records.RepairRecord` per request.
     """
+    tracing = False
+    if scheduler.telemetry:
+        TRACER.check_fork()
+        PROFILER.check_fork()
+        TRACER.enable()
+        PROFILER.enable()
+        tracing = True
+
     checkpoint_cache: Dict[str, tuple] = {}
-    resolved = [resolve_repair(request, checkpoint_cache=checkpoint_cache)
-                for request in requests]
+    resolved: List[ResolvedRepair] = []
+    roots = []
+    for request in requests:
+        root = (TRACER.begin("repair.request", trace_id=new_trace_id(),
+                             detector=request.scan.detector,
+                             checkpoint=request.scan.checkpoint,
+                             strategy=request.strategy)
+                if tracing else None)
+        with TRACER.context_of(root):
+            item = resolve_repair(request, checkpoint_cache=checkpoint_cache)
+        if root is not None:
+            item = dataclass_replace(item, trace_id=root.trace_id,
+                                     parent_span_id=root.span_id)
+        roots.append(root)
+        resolved.append(item)
     del checkpoint_cache
     results: List[Optional[RepairRecord]] = [None] * len(resolved)
 
@@ -337,10 +415,14 @@ def run_repairs(scheduler: ScanScheduler,
     for index, item in enumerate(resolved):
         cached = scheduler.store.lookup(item.key) if scheduler.store else None
         if isinstance(cached, RepairRecord):
+            if roots[index] is not None:
+                roots[index].attrs["cache_hit"] = True
             results[index] = _served_repair_copy(cached, item)
             scheduler.metrics.record_hit()
             continue
         if item.key in pending_keys:
+            if roots[index] is not None:
+                roots[index].attrs["cache_hit"] = True
             scheduler.metrics.record_hit()
             continue
         scheduler.metrics.record_miss()
@@ -355,6 +437,9 @@ def run_repairs(scheduler: ScanScheduler,
         fresh = scheduler.run_jobs(execute_repair,
                                    [item for _, item in pending])
         for (index, _), record in zip(pending, fresh):
+            worker_spans = record.pop_spans()
+            if tracing:
+                TRACER.add(worker_spans)
             results[index] = record
             scheduler.metrics.record_latency(float(record.seconds))
             if scheduler.store is not None:
@@ -364,4 +449,10 @@ def run_repairs(scheduler: ScanScheduler,
     for index, item in enumerate(resolved):
         if results[index] is None:
             results[index] = _served_repair_copy(by_key[item.key], item)
+    if tracing:
+        for root in roots:
+            TRACER.finish(root)
+        spans = TRACER.drain()
+        if scheduler.span_sink:
+            write_spans(scheduler.span_sink, spans)
     return [record for record in results if record is not None]

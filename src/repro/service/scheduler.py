@@ -42,7 +42,8 @@ import os
 import time
 from bisect import bisect_left, insort
 from collections import deque
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import (dataclass, field as dataclass_field,
+                         replace as dataclass_replace)
 from datetime import datetime, timezone
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
@@ -67,6 +68,9 @@ from ..defenses import (
 from ..models import build_model
 from ..nn.layers import Module
 from ..nn.serialization import load_checkpoint, validate_state_dict
+from ..obs.metrics import PROFILER
+from ..obs.trace import (TRACER, new_trace_id, span as _span,
+                         telemetry_enabled, write_spans)
 from ..utils.logging import get_logger
 from .fingerprint import digest_config, fingerprint_state_dict, scan_key
 from .records import ScanRecord, ScanRequest
@@ -108,6 +112,12 @@ class ResolvedScan:
     #: checkpoints record their ``ExperimentScale.model_kwargs`` here so
     #: non-default architectures rebuild correctly).
     model_kwargs: Dict[str, object] = dataclass_field(default_factory=dict)
+    #: Telemetry context stamped by the scheduler before dispatch: a
+    #: non-empty ``trace_id`` tells the executing process to record spans
+    #: under this trace, parented on the scheduler's root span.  These are
+    #: transport fields only — they never enter the cache-key digest.
+    trace_id: str = ""
+    parent_span_id: str = ""
 
 
 def _detector_config(request: ScanRequest):
@@ -163,7 +173,8 @@ def resolve_request(request: ScanRequest,
         state, metadata, fingerprint = cached
     else:
         state, metadata = load_checkpoint(request.checkpoint)
-        fingerprint = fingerprint_state_dict(state)
+        with _span("scan.fingerprint", checkpoint=request.checkpoint):
+            fingerprint = fingerprint_state_dict(state)
         if checkpoint_cache is not None:
             checkpoint_cache[request.checkpoint] = (state, metadata, fingerprint)
     model = request.model or metadata.get("model")
@@ -235,6 +246,26 @@ def _clean_sample(resolved: ResolvedScan, rng: np.random.Generator) -> Dataset:
     return stratified_sample(test_set, request.clean_budget, rng)
 
 
+def _clean_key(resolved: ResolvedScan) -> str:
+    request = resolved.request
+    return (f"{resolved.dataset}:{resolved.image_size}:"
+            f"s{request.seed}:b{request.clean_budget}")
+
+
+def _scan_telemetry(resolved: ResolvedScan, detection,
+                    detector) -> Dict[str, Any]:
+    """The per-record ``telemetry`` block from the live profiler state."""
+    telemetry: Dict[str, Any] = dict(PROFILER.snapshot())
+    if resolved.trace_id:
+        telemetry["trace_id"] = resolved.trace_id
+    telemetry["iterations"] = sum(int(t.iterations)
+                                  for t in detection.triggers)
+    pool_stats = getattr(detector, "last_mega_stats", None)
+    if pool_stats:
+        telemetry["pool"] = dict(pool_stats)
+    return telemetry
+
+
 def execute_resolved(resolved: ResolvedScan) -> ScanRecord:
     """Run one already-resolved scan: the worker-side half of a request.
 
@@ -242,29 +273,70 @@ def execute_resolved(resolved: ResolvedScan) -> ScanRecord:
     module-level and depend only on the picklable ``resolved`` payload.  The
     checkpoint is loaded exactly once here — the fingerprint and cache key
     were computed during resolution, so no re-hashing happens in the worker.
+
+    Telemetry crosses the process boundary by value: a forked worker first
+    resets the tracer/profiler state inherited from the parent
+    (:meth:`~repro.obs.trace.Tracer.check_fork`), then *adopts* the trace
+    stamped on ``resolved`` — its spans and per-phase profile ride back on
+    the returned record (``record.spans`` / ``record.telemetry``) where the
+    parent stitches them into the request's tree.  When the tracer is
+    already live (the serial in-parent fallback), spans go straight to the
+    parent buffer and nothing rides on the record.
     """
     request = resolved.request
-    rng = np.random.default_rng(request.seed)
-    state, _ = load_checkpoint(request.checkpoint)
-    model = _build_scan_model(resolved, state)
-    clean = _clean_sample(resolved, rng)
-    detector = build_request_detector(request, clean, rng)
-    classes = list(request.classes) if request.classes is not None else None
-    pairs = None
-    if request.scenario != SCENARIO_ALL_TO_ONE:
-        candidate_classes = (classes if classes is not None
-                             else list(range(clean.num_classes)))
-        pairs = scan_pairs_for(request.scenario, candidate_classes,
-                               source_classes=request.source_classes)
-    start = time.perf_counter()
-    detection = detector.detect(model, classes=classes, pairs=pairs,
-                                mode=request.inversion_mode)
-    detection.seconds_total = time.perf_counter() - start
-    return ScanRecord.from_detection(
-        key=resolved.key, fingerprint=resolved.fingerprint,
-        config_digest=resolved.config_digest, checkpoint=request.checkpoint,
-        model=resolved.model, dataset=resolved.dataset, detection=detection,
-        created_at=_utc_now(), worker_pid=os.getpid())
+    TRACER.check_fork()
+    PROFILER.check_fork()
+    adopted = bool(resolved.trace_id) and not TRACER.enabled
+    if adopted:
+        TRACER.enable()
+        PROFILER.enable()
+    profiling = PROFILER.enabled
+    if profiling:
+        PROFILER.reset()
+    try:
+        with TRACER.context(resolved.trace_id, resolved.parent_span_id):
+            with _span("worker.scan", detector=request.detector,
+                       checkpoint=request.checkpoint):
+                rng = np.random.default_rng(request.seed)
+                state, _ = load_checkpoint(request.checkpoint)
+                model = _build_scan_model(resolved, state)
+                clean = _clean_sample(resolved, rng)
+                detector = build_request_detector(request, clean, rng)
+                if request.inversion_mode == "mega":
+                    # Daemon children and pool workers run mega scans in a
+                    # fresh process; give them a real activation cache so
+                    # their telemetry reports actual hit/miss traffic.
+                    detector.activation_cache = CleanActivationCache(
+                        max_bytes=activation_cache_bytes())
+                    detector.model_key = resolved.fingerprint
+                    detector.clean_key = _clean_key(resolved)
+                classes = (list(request.classes)
+                           if request.classes is not None else None)
+                pairs = None
+                if request.scenario != SCENARIO_ALL_TO_ONE:
+                    candidate_classes = (classes if classes is not None
+                                         else list(range(clean.num_classes)))
+                    pairs = scan_pairs_for(request.scenario, candidate_classes,
+                                           source_classes=request.source_classes)
+                start = time.perf_counter()
+                detection = detector.detect(model, classes=classes, pairs=pairs,
+                                            mode=request.inversion_mode)
+                detection.seconds_total = time.perf_counter() - start
+        telemetry = (_scan_telemetry(resolved, detection, detector)
+                     if profiling else {})
+        record = ScanRecord.from_detection(
+            key=resolved.key, fingerprint=resolved.fingerprint,
+            config_digest=resolved.config_digest, checkpoint=request.checkpoint,
+            model=resolved.model, dataset=resolved.dataset, detection=detection,
+            created_at=_utc_now(), worker_pid=os.getpid(), telemetry=telemetry)
+        if adopted:
+            record.spans = TRACER.drain()
+        return record
+    finally:
+        if adopted:
+            TRACER.reset()
+            PROFILER.disable()
+            PROFILER.reset()
 
 
 def execute_scan(request: ScanRequest) -> ScanRecord:
@@ -308,45 +380,98 @@ def execute_mega_group(group: Sequence[ResolvedScan],
     Per-request setup replays :func:`execute_resolved` exactly — fresh RNG
     from the request seed, same checkpoint load, same clean sample — so a
     mega record differs from a worker record only by its inversion engine.
+
+    Telemetry follows the same adopt-by-value protocol as
+    :func:`execute_resolved`, keyed off the first stamped ``trace_id`` in
+    the group.  The fused sweep is one computation shared by every request,
+    so its spans and pool stats attach to the *first* fleet request's trace
+    and record — per-request records still carry their own iteration counts,
+    and summing pool stats across the group would double-count.
     """
     group_list = list(group)
     if not group_list:
         return []
+    TRACER.check_fork()
+    PROFILER.check_fork()
+    lead = next((item for item in group_list if item.trace_id), None)
+    adopted = lead is not None and not TRACER.enabled
+    if adopted:
+        TRACER.enable()
+        PROFILER.enable()
+    profiling = PROFILER.enabled
+    if profiling:
+        PROFILER.reset()
     if cache is None:
         cache = CleanActivationCache(max_bytes=activation_cache_bytes())
+    cache_before = (cache.hits, cache.misses)
     records: List[Optional[ScanRecord]] = [None] * len(group_list)
     fleet: List[Tuple[int, ResolvedScan]] = []
     fleet_jobs: List[Tuple[Any, Module, Optional[List[int]]]] = []
-    for position, resolved in enumerate(group_list):
-        request = resolved.request
-        rng = np.random.default_rng(request.seed)
-        state, _ = load_checkpoint(request.checkpoint)
-        model = _build_scan_model(resolved, state)
-        clean = _clean_sample(resolved, rng)
-        detector = build_request_detector(request, clean, rng)
-        detector.activation_cache = cache
-        detector.model_key = resolved.fingerprint
-        detector.clean_key = (f"{resolved.dataset}:{resolved.image_size}:"
-                              f"s{request.seed}:b{request.clean_budget}")
-        classes = list(request.classes) if request.classes is not None else None
-        if request.scenario != SCENARIO_ALL_TO_ONE:
-            candidate_classes = (classes if classes is not None
-                                 else list(range(clean.num_classes)))
-            pairs = scan_pairs_for(request.scenario, candidate_classes,
-                                   source_classes=request.source_classes)
-            start = time.perf_counter()
-            detection = detector.detect(model, classes=classes, pairs=pairs,
-                                        mode="mega")
-            detection.seconds_total = time.perf_counter() - start
-            records[position] = _mega_record(resolved, detection)
-        else:
-            fleet.append((position, resolved))
-            fleet_jobs.append((detector, model, classes))
-    if fleet_jobs:
-        detections = detect_mega_fleet(fleet_jobs, cache=cache)
-        for (position, resolved), detection in zip(fleet, detections):
-            records[position] = _mega_record(resolved, detection)
-    return [record for record in records if record is not None]
+    try:
+        for position, resolved in enumerate(group_list):
+            request = resolved.request
+            rng = np.random.default_rng(request.seed)
+            state, _ = load_checkpoint(request.checkpoint)
+            model = _build_scan_model(resolved, state)
+            clean = _clean_sample(resolved, rng)
+            detector = build_request_detector(request, clean, rng)
+            detector.activation_cache = cache
+            detector.model_key = resolved.fingerprint
+            detector.clean_key = _clean_key(resolved)
+            classes = (list(request.classes)
+                       if request.classes is not None else None)
+            if request.scenario != SCENARIO_ALL_TO_ONE:
+                candidate_classes = (classes if classes is not None
+                                     else list(range(clean.num_classes)))
+                pairs = scan_pairs_for(request.scenario, candidate_classes,
+                                       source_classes=request.source_classes)
+                with TRACER.context(resolved.trace_id,
+                                    resolved.parent_span_id):
+                    with _span("mega.pair_scan", detector=request.detector):
+                        start = time.perf_counter()
+                        detection = detector.detect(model, classes=classes,
+                                                    pairs=pairs, mode="mega")
+                        detection.seconds_total = time.perf_counter() - start
+                record = _mega_record(resolved, detection)
+                if profiling:
+                    record.telemetry = _scan_telemetry(resolved, detection,
+                                                       detector)
+                    PROFILER.reset()  # phases are per-record, not cumulative
+                records[position] = record
+            else:
+                fleet.append((position, resolved))
+                fleet_jobs.append((detector, model, classes))
+        if fleet_jobs:
+            lead_fleet = fleet[0][1]
+            with TRACER.context(lead_fleet.trace_id,
+                                lead_fleet.parent_span_id):
+                with _span("mega.fleet", models=len(fleet_jobs)):
+                    detections = detect_mega_fleet(fleet_jobs, cache=cache)
+            for slot, ((position, resolved), detection) in enumerate(
+                    zip(fleet, detections)):
+                record = _mega_record(resolved, detection)
+                if profiling:
+                    record.telemetry = _scan_telemetry(resolved, detection,
+                                                       fleet_jobs[slot][0])
+                    if slot > 0:
+                        # Shared-run stats live on the first record only.
+                        record.telemetry.pop("pool", None)
+                        record.telemetry.pop("phases", None)
+                        record.telemetry.pop("counts", None)
+                records[position] = record
+        kept = [record for record in records if record is not None]
+        if profiling and kept:
+            cache_delta = {"hits": cache.hits - cache_before[0],
+                           "misses": cache.misses - cache_before[1]}
+            kept[0].telemetry.setdefault("pool", {})["cache"] = cache_delta
+        if adopted and kept:
+            kept[0].spans = TRACER.drain()
+        return kept
+    finally:
+        if adopted:
+            TRACER.reset()
+            PROFILER.disable()
+            PROFILER.reset()
 
 
 # ---------------------------------------------------------------------- #
@@ -442,6 +567,10 @@ class ServiceMetrics:
     failures: int = 0
     #: Retry attempts performed (not counting first attempts).
     retries: int = 0
+    #: Clean-activation cache hits observed across mega scans.
+    activation_cache_hits: int = 0
+    #: Clean-activation cache misses observed across mega scans.
+    activation_cache_misses: int = 0
 
     def __post_init__(self) -> None:
         """Set up the latency window (insertion order + sorted view)."""
@@ -474,10 +603,21 @@ class ServiceMetrics:
         if seconds is not None:
             self.record_latency(seconds)
 
+    def record_activation_cache(self, hits: int, misses: int) -> None:
+        """Accumulate clean-activation cache traffic from one mega batch."""
+        self.activation_cache_hits += int(hits)
+        self.activation_cache_misses += int(misses)
+
     @property
     def cache_hit_ratio(self) -> float:
         """Hits over served requests (0.0 when nothing was served yet)."""
         return self.cache_hits / self.scans_served if self.scans_served else 0.0
+
+    @property
+    def activation_cache_hit_ratio(self) -> float:
+        """Activation-cache hits over lookups (0.0 before any lookup)."""
+        total = self.activation_cache_hits + self.activation_cache_misses
+        return self.activation_cache_hits / total if total else 0.0
 
     def latency_percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) of computed-scan latencies.
@@ -507,6 +647,10 @@ class ServiceMetrics:
             "latency_p95_s": round(self.latency_percentile(95), 4),
             "failures": self.failures,
             "retries": self.retries,
+            "activation_cache_hits": self.activation_cache_hits,
+            "activation_cache_misses": self.activation_cache_misses,
+            "activation_cache_hit_ratio": round(
+                self.activation_cache_hit_ratio, 4),
         }
 
 
@@ -527,17 +671,32 @@ class ScanScheduler:
             :meth:`run_jobs` on the pool path; ``None`` disables it.
         job_retries: Default retry budget per job — a failed (or timed-out)
             job is re-queued up to this many times before the batch fails.
+        telemetry: Record trace spans and per-phase profiles for every
+            request.  ``None`` (the default) follows ``REPRO_TELEMETRY``
+            (on unless set falsy); pass False for library callers that
+            must not touch the process-wide tracer.
+        span_sink: Optional ``spans.jsonl`` path; finished spans of every
+            batch are appended there (see
+            :func:`repro.service.store.sidecar_path`).
     """
 
     def __init__(self, store: Optional[ResultStore] = None,
                  workers: int = 0, job_timeout: Optional[float] = None,
-                 job_retries: int = 0) -> None:
+                 job_retries: int = 0, telemetry: Optional[bool] = None,
+                 span_sink: Optional[str] = None) -> None:
         self.store = store
         self.workers = int(workers)
         self.job_timeout = job_timeout
         self.job_retries = int(job_retries)
+        self.telemetry = (telemetry_enabled() if telemetry is None
+                          else bool(telemetry))
+        self.span_sink = span_sink
         #: Cumulative counters over the scheduler's life (never reset).
         self.metrics = ServiceMetrics()
+        #: Lazily-created activation cache shared by every mega batch this
+        #: scheduler runs in-parent, so repeated scans of the same weights
+        #: hit across batches (and the hit ratio is worth exporting).
+        self._activation_cache: Optional[CleanActivationCache] = None
 
     @property
     def cache_hits(self) -> int:
@@ -548,6 +707,13 @@ class ScanScheduler:
     def cache_misses(self) -> int:
         """Requests that required a fresh computation so far."""
         return self.metrics.cache_misses
+
+    def _mega_cache(self) -> CleanActivationCache:
+        """The scheduler-lifetime clean-activation cache for mega batches."""
+        if self._activation_cache is None:
+            self._activation_cache = CleanActivationCache(
+                max_bytes=activation_cache_bytes())
+        return self._activation_cache
 
     # ------------------------------------------------------------------ #
     # Generic queued dispatch (also used by the experiment fleet)
@@ -693,23 +859,55 @@ class ScanScheduler:
             order — cache hits flagged via ``cache_hit``, fresh records
             appended to the attached store.
         """
+        tracing = False
+        if self.telemetry:
+            TRACER.check_fork()
+            PROFILER.check_fork()
+            TRACER.enable()
+            PROFILER.enable()
+            tracing = True
+
+        # Each request gets its own trace rooted at a ``scan.request`` span;
+        # resolution (and its fingerprint span) runs inside that context so
+        # parent-side work parents correctly before dispatch.
         checkpoint_cache: Dict[str, tuple] = {}
-        resolved = [resolve_request(request, checkpoint_cache=checkpoint_cache)
-                    for request in requests]
+        resolved: List[ResolvedScan] = []
+        roots = []
+        for request in requests:
+            root = (TRACER.begin("scan.request", trace_id=new_trace_id(),
+                                 detector=request.detector,
+                                 checkpoint=request.checkpoint)
+                    if tracing else None)
+            with TRACER.context_of(root):
+                item = resolve_request(request,
+                                       checkpoint_cache=checkpoint_cache)
+            if root is not None:
+                item = dataclass_replace(item, trace_id=root.trace_id,
+                                         parent_span_id=root.span_id)
+            roots.append(root)
+            resolved.append(item)
         del checkpoint_cache  # free the cached state dicts before dispatch
         results: List[Optional[ScanRecord]] = [None] * len(resolved)
 
         pending: List[Tuple[int, ResolvedScan]] = []
         pending_keys = set()
         for index, item in enumerate(resolved):
-            cached = self.store.lookup(item.key) if self.store else None
+            root = roots[index]
+            with TRACER.context_of(root):
+                with _span("scan.cache_lookup", store=self.store is not None):
+                    cached = (self.store.lookup(item.key)
+                              if self.store else None)
             if cached is not None:
+                if root is not None:
+                    root.attrs["cache_hit"] = True
                 results[index] = self._served_copy(cached, item)
                 self.metrics.record_hit()
                 continue
             if item.key in pending_keys:
                 # Duplicate inside this batch: computed once below and served
                 # as a hit, so it counts as one.
+                if root is not None:
+                    root.attrs["cache_hit"] = True
                 self.metrics.record_hit()
                 continue
             self.metrics.record_miss()
@@ -730,7 +928,12 @@ class ScanScheduler:
             if mega:
                 _LOG.info("Pooling %d mega-mode scan(s) into one mega-batch.",
                           len(mega))
-                mega_records = execute_mega_group([item for _, item in mega])
+                cache = self._mega_cache()
+                before = (cache.hits, cache.misses)
+                mega_records = execute_mega_group([item for _, item in mega],
+                                                  cache=cache)
+                self.metrics.record_activation_cache(
+                    cache.hits - before[0], cache.misses - before[1])
                 computed.extend(zip((index for index, _ in mega),
                                     mega_records))
             if rest:
@@ -738,6 +941,11 @@ class ScanScheduler:
                                       [item for _, item in rest])
                 computed.extend(zip((index for index, _ in rest), fresh))
             for index, record in computed:
+                # Stitch worker-recorded spans (pool path) into this
+                # process's buffer; serial-path spans are already here.
+                worker_spans = record.pop_spans()
+                if tracing:
+                    TRACER.add(worker_spans)
                 results[index] = record
                 self.metrics.record_latency(float(record.seconds))
                 if self.store is not None:
@@ -748,6 +956,12 @@ class ScanScheduler:
         for index, item in enumerate(resolved):
             if results[index] is None:
                 results[index] = self._served_copy(by_key[item.key], item)
+        if tracing:
+            for root in roots:
+                TRACER.finish(root)
+            spans = TRACER.drain()
+            if self.span_sink:
+                write_spans(self.span_sink, spans)
         return [record for record in results if record is not None]
 
     def scan_one(self, request: ScanRequest) -> ScanRecord:

@@ -39,7 +39,8 @@ from ..utils.logging import get_logger
 from .locks import FileLock, atomic_write
 from .records import RepairRecord, ScanRecord, record_from_dict
 
-__all__ = ["ResultStore", "ShardedResultStore", "open_store", "STATS_NAME"]
+__all__ = ["ResultStore", "ShardedResultStore", "open_store", "STATS_NAME",
+           "SPANS_NAME", "METRICS_NAME", "sidecar_path"]
 
 #: Record types a store line may decode to (see ``records.record_from_dict``).
 StoreRecord = Union[ScanRecord, RepairRecord]
@@ -51,11 +52,36 @@ MANIFEST_NAME = "store.json"
 #: File name of the daemon's stats endpoint inside a sharded store directory
 #: (next to a legacy file it becomes ``<store>.stats.json``).
 STATS_NAME = "stats.json"
+#: File name of the trace-span JSONL sidecar (same placement rules).
+SPANS_NAME = "spans.jsonl"
+#: File name of the Prometheus metrics sidecar (same placement rules).
+METRICS_NAME = "metrics.prom"
 #: Current sharded-store format version (checked on open).
 STORE_FORMAT = 1
 #: Default number of leading fingerprint hex chars used as the shard id
 #: (2 -> up to 256 shards, plenty for a uniformly distributed SHA-256 prefix).
 DEFAULT_SHARD_WIDTH = 2
+
+
+def sidecar_path(store_path: str, name: str) -> str:
+    """Path of a store sidecar file (stats/spans/metrics) for any layout.
+
+    Sharded stores (directories, and extension-less paths that will become
+    directories) keep sidecars *inside* the store; a legacy single-file
+    store gets ``<store>.<name>`` siblings.
+
+    Args:
+        store_path: The store path as given to :func:`open_store`.
+        name: Sidecar file name (:data:`STATS_NAME`, :data:`SPANS_NAME`,
+            :data:`METRICS_NAME`).
+    """
+    text = os.fspath(store_path)
+    if os.path.isfile(text):
+        return text + "." + name
+    if (os.path.isdir(text) or text.endswith(os.sep)
+            or os.path.splitext(text)[1] == ""):
+        return os.path.join(text.rstrip(os.sep), name)
+    return text + "." + name
 
 
 def _iter_jsonl_records(path: str) -> Iterator[StoreRecord]:
@@ -81,8 +107,15 @@ def _iter_jsonl_records(path: str) -> Iterator[StoreRecord]:
 
 
 def _encode(record: StoreRecord) -> bytes:
-    """One canonical JSONL line (newline-terminated bytes) for ``record``."""
-    return (json.dumps(record.to_dict(), sort_keys=True) + "\n").encode("utf-8")
+    """One canonical JSONL line (newline-terminated bytes) for ``record``.
+
+    Transient trace spans are stripped here: they belong in the span sink
+    (``spans.jsonl``), not in every store line, and stripping at the encode
+    choke point keeps them out even when a caller forgot ``pop_spans()``.
+    """
+    payload = record.to_dict()
+    payload.pop("spans", None)
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
 
 
 def _append_line(path: str, data: bytes) -> None:

@@ -1,30 +1,78 @@
-"""Minimal structured logging used across the experiment harness."""
+"""Minimal structured logging used across the experiment harness.
+
+The default level is ``INFO``; override per process with the
+``REPRO_LOG_LEVEL`` environment variable (``debug``/``info``/``warning``/
+``error``/``critical``) or at runtime via :func:`set_log_level` (the CLI's
+``--log-level`` flag).
+"""
 
 from __future__ import annotations
 
 import logging
+import os
 import sys
 import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["get_logger", "timed"]
+__all__ = ["get_logger", "set_log_level", "timed", "LOG_LEVEL_ENV"]
+
+#: Environment variable naming the default log level for new processes.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
 
 _FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
 _configured = False
 
 
+def _resolve_level(level: str | int | None) -> int:
+    """Map a level name/number (or None -> env var -> INFO) to an int."""
+    if level is None:
+        level = os.environ.get(LOG_LEVEL_ENV, "").strip() or "INFO"
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r} (use debug/info/"
+                         f"warning/error/critical)")
+    return resolved
+
+
 def get_logger(name: str = "repro") -> logging.Logger:
-    """Return a logger configured to emit to stderr once per process."""
+    """Return a logger configured to emit to stderr once per process.
+
+    The root ``repro`` logger's level comes from ``REPRO_LOG_LEVEL`` when
+    set (falling back to ``INFO``); an invalid value falls back to ``INFO``
+    rather than breaking the caller.
+    """
     global _configured
     if not _configured:
         handler = logging.StreamHandler(sys.stderr)
         handler.setFormatter(logging.Formatter(_FORMAT))
         root = logging.getLogger("repro")
         root.addHandler(handler)
-        root.setLevel(logging.INFO)
+        try:
+            root.setLevel(_resolve_level(None))
+        except ValueError:
+            root.setLevel(logging.INFO)
         _configured = True
     return logging.getLogger(name)
+
+
+def set_log_level(level: str | int) -> int:
+    """Set the level of the root ``repro`` logger (configuring it if needed).
+
+    Args:
+        level: A name (``"debug"``, case-insensitive) or numeric level.
+
+    Returns:
+        The numeric level that was applied.
+
+    Raises:
+        ValueError: When ``level`` is not a recognized name.
+    """
+    resolved = _resolve_level(level)
+    get_logger().setLevel(resolved)
+    return resolved
 
 
 @contextmanager

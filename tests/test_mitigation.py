@@ -384,6 +384,8 @@ class TestRepairService:
             payload.pop("created_at")
             payload.pop("worker_pid")
             payload.pop("seconds")
+            # Telemetry is per-run by design (trace ids, wall-clock phases).
+            payload.pop("telemetry", None)
             payload["report"] = {k: v for k, v in payload["report"].items()
                                  if k != "seconds"}
             return payload

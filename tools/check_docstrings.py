@@ -25,6 +25,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_TARGETS = [
     os.path.join(_ROOT, "src", "repro", "service"),
     os.path.join(_ROOT, "src", "repro", "mitigation"),
+    os.path.join(_ROOT, "src", "repro", "obs"),
     os.path.join(_ROOT, "src", "repro", "core", "detection.py"),
 ]
 

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """Generate (or verify) ``docs/api.md`` from the public docstring surface.
 
-The reference covers the curated ``__all__`` of the five public packages —
+The reference covers the curated ``__all__`` of the six public packages —
 ``repro.core``, ``repro.attacks``, ``repro.mitigation``, ``repro.service``,
-``repro.eval`` — and is
+``repro.obs``, ``repro.eval`` — and is
 rendered purely from live docstrings and signatures, so it can never drift
 from the code without ``--check`` (wired into ``make docs-check`` / CI)
 failing.
@@ -31,7 +31,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 PACKAGES = ["repro.core", "repro.attacks", "repro.mitigation",
-            "repro.service", "repro.eval"]
+            "repro.service", "repro.obs", "repro.eval"]
 
 HEADER = """\
 # API reference

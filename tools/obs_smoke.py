@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the observability surface, through the real CLI.
+
+Drives one daemon cycle over a temp drop directory (telemetry on, the
+default), then asserts:
+
+1. ``metrics.prom`` exists beside ``stats.json`` and parses as valid
+   Prometheus text exposition (cumulative buckets, ``+Inf`` == ``_count``)
+   with the per-detector scan-latency histogram and the activation-cache
+   hit-ratio gauge present,
+2. ``spans.jsonl`` holds exactly one stitched trace whose spans come from
+   at least two pids (daemon parent + scan child), and
+3. ``python -m repro trace`` lists the trace and renders a non-trivial
+   span tree for it, and ``python -m repro metrics`` re-renders a valid
+   exposition offline.
+
+Run by ``make obs-smoke`` (and CI).  Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.models import build_model  # noqa: E402
+from repro.nn.serialization import save_model  # noqa: E402
+from repro.obs import parse_prometheus_text, read_spans  # noqa: E402
+from repro.service.cli import main as cli_main  # noqa: E402
+
+REQUIRED_FAMILIES = (
+    "repro_scan_latency_seconds_count",
+    "repro_activation_cache_hit_ratio",
+    "repro_scans_served_total",
+    "repro_store_scan_records",
+)
+
+
+def _fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    """Run the smoke sequence; return a process exit code."""
+    with tempfile.TemporaryDirectory(prefix="repro_obs_smoke_") as tmp:
+        drop = os.path.join(tmp, "drop")
+        store_path = os.path.join(tmp, "scans")
+        os.makedirs(drop)
+        model = build_model("basic_cnn", num_classes=10, in_channels=3,
+                            image_size=12, rng=np.random.default_rng(0))
+        save_model(model, os.path.join(drop, "candidate.npz"),
+                   metadata={"model": "basic_cnn", "dataset": "cifar10",
+                             "image_size": 12})
+
+        rc = cli_main([
+            "watch", drop, "--store", store_path, "--detectors", "usb",
+            "--poll-interval", "0.1", "--settle-polls", "1",
+            "--max-iterations", "4", "--job-timeout", "300", "--retries", "1",
+            "--classes", "0,1,2", "--clean-budget", "10",
+            "--samples-per-class", "3", "--iterations", "2"])
+        if rc != 0:
+            return _fail(f"watch exited {rc}")
+
+        # 1. metrics.prom: present and a valid exposition.
+        prom_path = os.path.join(store_path, "metrics.prom")
+        if not os.path.exists(prom_path):
+            return _fail(f"{prom_path} missing")
+        try:
+            samples = parse_prometheus_text(open(prom_path).read())
+        except ValueError as exc:
+            return _fail(f"metrics.prom invalid: {exc}")
+        missing = [name for name in REQUIRED_FAMILIES if name not in samples]
+        if missing:
+            return _fail(f"metrics.prom missing families {missing}")
+        if samples["repro_scans_served_total"][0][1] != 1.0:
+            return _fail("expected exactly one served scan in metrics.prom")
+
+        # 2. spans.jsonl: one stitched cross-process trace.
+        spans = read_spans(os.path.join(store_path, "spans.jsonl"))
+        trace_ids = {span["trace_id"] for span in spans}
+        if len(trace_ids) != 1:
+            return _fail(f"expected 1 trace, found {len(trace_ids)}")
+        trace_id = trace_ids.pop()
+        pids = {span["pid"] for span in spans}
+        if len(pids) < 2:
+            return _fail(f"trace spans all from one pid {pids} — "
+                         "child spans did not stitch")
+        names = {span["name"] for span in spans}
+        if "daemon.job" not in names or "worker.scan" not in names:
+            return _fail(f"trace missing expected spans, got {sorted(names)}")
+
+        # 3. CLI round trips: listing, tree render, offline metrics.
+        listing = io.StringIO()
+        with contextlib.redirect_stdout(listing):
+            rc = cli_main(["trace", "--store", store_path])
+        if rc != 0 or trace_id not in listing.getvalue():
+            return _fail("repro trace listing did not show the trace")
+        tree = io.StringIO()
+        with contextlib.redirect_stdout(tree):
+            rc = cli_main(["trace", trace_id, "--store", store_path])
+        rendered = tree.getvalue()
+        if rc != 0 or rendered.count("\n") < 3:
+            return _fail(f"repro trace rendered a trivial tree:\n{rendered}")
+        if "worker.scan" not in rendered:
+            return _fail("rendered tree lacks the worker-side span")
+        offline = io.StringIO()
+        with contextlib.redirect_stdout(offline):
+            rc = cli_main(["metrics", "--store", store_path])
+        if rc != 0:
+            return _fail(f"repro metrics exited {rc}")
+        try:
+            parse_prometheus_text(offline.getvalue())
+        except ValueError as exc:
+            return _fail(f"offline metrics invalid: {exc}")
+
+    print(f"obs smoke OK: 1 stitched trace ({len(spans)} spans, "
+          f"{len(pids)} pids), metrics.prom valid, CLI round trips.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
