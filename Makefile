@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke
+.PHONY: test tier1 lint lint-baseline bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -29,6 +29,17 @@ scenarios:
 	  --table table5 --scale bench \
 	  --scenarios all_to_one,source_conditional,all_to_all \
 	  --cases badnet_3x3 --detectors usb --seed 1
+
+## repro-lint: AST-based invariant checker (RNG, digest, lock, telemetry,
+## wall-clock, exception, docstring discipline).  Fails on any violation
+## not covered by an inline suppression or tools/lint_baseline.json.
+lint:
+	$(PYTHON) -m repro.analysis
+
+## Regenerate the lint baseline in place, keeping existing justifications.
+## New entries get a TODO justification that must be filled in by hand.
+lint-baseline:
+	$(PYTHON) -m repro.analysis --update-baseline
 
 ## Regenerate docs/api.md from the live public docstring surface.
 docs:

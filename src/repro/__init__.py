@@ -14,6 +14,10 @@ The package is organized as follows:
 * :mod:`repro.service` — scanning service: fingerprinted checkpoints, cached
   result store, process-parallel scan scheduler, cacheable repair jobs, and
   the ``python -m repro`` CLI.
+* :mod:`repro.obs` — observability: cross-process trace spans, phase
+  profiler, Prometheus-exposition metrics export.
+* :mod:`repro.analysis` — repro-lint: AST-based static checks enforcing the
+  project's RNG, digest, lock, telemetry, and exception disciplines.
 * :mod:`repro.utils` — SSIM, image helpers, RNG management.
 """
 

@@ -1,0 +1,30 @@
+"""repro-lint: AST-based static analysis enforcing this repo's invariants.
+
+Every recent PR fixed a bug in a convention the repo only enforced by
+review — RNG stream derivation (PR 5), cache-digest field coverage
+(PR 6/7), lock/atomic-write discipline for the multi-writer store (PR 4).
+This package turns those conventions into a CI gate, the same way the
+docstring checker gates the docs surface.
+
+Layout:
+
+* :mod:`repro.analysis.engine` — file discovery, parsing, inline
+  suppressions (``# repro-lint: disable=<rule>``), the checked-in
+  baseline of grandfathered violations, and the runner.
+* :mod:`repro.analysis.rules` — the rule registry plus one module per
+  rule family: rng-discipline, digest-hygiene, lock-discipline,
+  telemetry-guard, no-wallclock-in-core, exception-hygiene,
+  docstring-coverage.
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis`` (``make
+  lint``).
+
+See the "Static analysis" section of ``docs/ops.md`` for the rule
+reference, suppression syntax, and the baseline workflow.
+"""
+
+from .engine import (Baseline, FileContext, LintResult, Violation,
+                     run_lint)
+from .rules import ProjectRule, Rule, all_rules, get_rule
+
+__all__ = ["Baseline", "FileContext", "LintResult", "Violation",
+           "run_lint", "Rule", "ProjectRule", "all_rules", "get_rule"]

@@ -1,0 +1,88 @@
+"""Small shared AST helpers used by the repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["dotted_name", "iter_calls", "call_mode", "find_function",
+           "find_class", "dataclass_fields"]
+
+
+def dotted_name(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Resolve a ``Name``/``Attribute`` chain to a name tuple, else None.
+
+    ``np.random.default_rng`` -> ``("np", "random", "default_rng")``;
+    anything rooted in a call/subscript (e.g. ``rng().x``) resolves to None.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """Every ``Call`` node in the tree, in document order."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def call_mode(call: ast.Call, position: int = 1) -> Optional[str]:
+    """The constant string ``mode`` argument of an ``open``-style call.
+
+    Looks at positional argument ``position`` then a ``mode=`` keyword;
+    returns None when absent or not a string literal (callers should skip
+    rather than guess).
+    """
+    node: Optional[ast.AST] = None
+    if len(call.args) > position:
+        node = call.args[position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            node = keyword.value
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def find_function(tree: ast.Module, name: str) -> Optional[ast.FunctionDef]:
+    """A module's top-level function definition by name, else None."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                node.name == name:
+            return node
+    return None
+
+
+def find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    """A module's top-level class definition by name, else None."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def dataclass_fields(cls: ast.ClassDef) -> Iterator[Tuple[str, int]]:
+    """Yield ``(field_name, lineno)`` for a dataclass body.
+
+    Annotated assignments with a plain-name target count as fields;
+    ``ClassVar``-annotated names are skipped (they are not dataclass
+    fields).
+    """
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign) or \
+                not isinstance(node.target, ast.Name):
+            continue
+        annotation = dotted_name(node.annotation)
+        if annotation and annotation[-1] == "ClassVar":
+            continue
+        if isinstance(node.annotation, ast.Subscript):
+            base = dotted_name(node.annotation.value)
+            if base and base[-1] == "ClassVar":
+                continue
+        yield node.target.id, node.lineno

@@ -1,0 +1,115 @@
+"""Command-line front end for repro-lint: ``python -m repro.analysis``.
+
+Usage::
+
+    python -m repro.analysis                      # lint the default trees
+    python -m repro.analysis src/repro/service    # lint specific paths
+    python -m repro.analysis --json               # machine-readable output
+    python -m repro.analysis --select rng-discipline,digest-hygiene
+    python -m repro.analysis --update-baseline    # regenerate the baseline
+    python -m repro.analysis --list-rules
+
+Run by ``make lint`` and CI.  Exit status is 0 only when every violation
+is covered by an inline suppression (``# repro-lint: disable=<rule>``) or
+the checked-in baseline (``tools/lint_baseline.json``), and no baseline
+entry is stale.  See the "Static analysis" section of ``docs/ops.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from .engine import (DEFAULT_BASELINE, Baseline, LintResult, run_lint)
+from .rules import all_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: AST-based project invariant checker.")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: "
+                             "src/repro, tools, benchmarks)")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: auto-detected from this "
+                             "package's location, falling back to cwd)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             "under the root when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline entirely")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "violations (preserving justifications) "
+                             "instead of failing")
+    parser.add_argument("--select", default=None, metavar="RULES",
+                        help="comma-separated rule names to run")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON report on stdout")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    parser.add_argument("--ignore-scope", action="store_true",
+                        help="apply selected rules to every linted file "
+                             "instead of their own path scopes")
+    return parser
+
+
+def _detect_root() -> str:
+    """Best-effort repo root: the directory holding ``src/repro``."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    candidate = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    if os.path.isdir(os.path.join(candidate, "src", "repro")):
+        return candidate
+    return os.getcwd()
+
+
+def _print_human(result: LintResult) -> None:
+    """Render a lint result for terminals."""
+    for violation in result.violations:
+        print(violation.format())
+    for entry in result.stale_baseline:
+        print(f"{entry.get('path')}:{entry.get('line', '?')}: "
+              f"{entry.get('rule')}: stale baseline entry — the violation "
+              f"it grandfathers no longer exists (code: "
+              f"{entry.get('code', '')!r}); prune it")
+    summary = (f"{result.files_checked} file(s) checked: "
+               f"{len(result.violations)} violation(s), "
+               f"{len(result.baselined)} baselined, "
+               f"{len(result.stale_baseline)} stale baseline entr(ies).")
+    stream = sys.stderr if not result.ok else sys.stdout
+    print(("repro-lint FAILED — " if not result.ok else "repro-lint OK — ")
+          + summary, file=stream)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:22s} {rule.description}")
+        return 0
+    root = os.path.abspath(args.root or _detect_root())
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE)
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    select = ([name.strip() for name in args.select.split(",") if name.strip()]
+              if args.select else None)
+    result = run_lint(root=root, targets=args.paths or None, select=select,
+                      baseline=baseline, ignore_scope=args.ignore_scope)
+    if args.update_baseline:
+        text = baseline.render(result.violations + result.baselined)
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"baseline rewritten: {baseline_path} "
+              f"({len(result.violations) + len(result.baselined)} entries).")
+        return 0
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        _print_human(result)
+    return 0 if result.ok else 1

@@ -1,0 +1,357 @@
+"""Core machinery for repro-lint: parsing, suppressions, baseline, runner.
+
+The engine walks the configured trees, parses every ``.py`` file once into
+a :class:`FileContext`, runs each registered rule over the files in its
+scope, then filters the raw violations through two escape hatches:
+
+* **inline suppressions** — a ``# repro-lint: disable=<rule>[,<rule>...]``
+  comment on the violating line silences those rules for that line
+  (``# repro-lint: disable`` with no ``=`` silences every rule);
+* **the baseline** — a checked-in JSON file of grandfathered violations
+  (see :class:`Baseline`), matched by ``(rule, path, source line)`` so
+  entries survive unrelated line-number churn.  Baselined violations do
+  not fail the run; baseline entries that no longer match anything are
+  reported as *stale* and do fail it, keeping the file honest.
+
+:func:`run_lint` is the single entry point used by the CLI
+(:mod:`repro.analysis.cli`), the ``check_docstrings`` shim, and the test
+suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Violation", "FileContext", "Baseline", "LintResult",
+           "run_lint", "parse_file", "iter_python_files",
+           "DEFAULT_TARGETS", "DEFAULT_BASELINE"]
+
+#: Trees linted when the CLI is given no explicit paths.
+DEFAULT_TARGETS = ("src/repro", "tools", "benchmarks")
+
+#: Repo-relative location of the checked-in baseline.
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?:=([A-Za-z0-9_,\- ]+))?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a file line.
+
+    ``code`` is the stripped source line — it doubles as the stable
+    baseline-matching key, so entries survive line renumbering.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    code: str
+
+    def format(self) -> str:
+        """Human one-liner: ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe payload for ``--json`` output."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message, "code": self.code}
+
+
+@dataclass
+class FileContext:
+    """One parsed source file handed to rules.
+
+    Attributes:
+        path: Repo-relative posix path (rule scoping + output key).
+        source: Full file text.
+        lines: ``source.splitlines()``.
+        tree: The parsed :mod:`ast` module node.
+        suppressions: line -> set of rule names silenced there, or ``None``
+            for "all rules" (bare ``disable``).
+    """
+
+    path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: Dict[int, Optional[frozenset]] = field(default_factory=dict)
+
+    def code_at(self, line: int) -> str:
+        """The stripped source text of a 1-indexed line ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def violation(self, rule: str, node, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at an AST node (or line int)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line, col = node.lineno, getattr(node, "col_offset", 0)
+        return Violation(rule=rule, path=self.path, line=line, col=col,
+                         message=message, code=self.code_at(line))
+
+    def suppressed(self, violation: Violation) -> bool:
+        """Whether an inline comment on the violation's line silences it."""
+        rules = self.suppressions.get(violation.line, False)
+        if rules is False:
+            return False
+        return rules is None or violation.rule in rules
+
+
+def _extract_suppressions(source: str) -> Dict[int, Optional[frozenset]]:
+    """Map line -> suppressed rule set from ``# repro-lint:`` comments."""
+    found: Dict[int, Optional[frozenset]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        comments = [(number, line) for number, line
+                    in enumerate(source.splitlines(), start=1) if "#" in line]
+    for line_number, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        if match.group(1) is None:
+            found[line_number] = None
+        else:
+            names = frozenset(name.strip()
+                              for name in match.group(1).split(",")
+                              if name.strip())
+            previous = found.get(line_number, False)
+            if previous is None:
+                continue
+            found[line_number] = (names if previous is False
+                                  else previous | names)
+    return found
+
+
+def parse_file(abspath: str, relpath: str) -> Tuple[Optional[FileContext],
+                                                    Optional[Violation]]:
+    """Parse one file; returns (context, None) or (None, parse-error)."""
+    with open(abspath, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        return None, Violation(
+            rule="parse-error", path=relpath, line=error.lineno or 1,
+            col=error.offset or 0, message=f"cannot parse: {error.msg}",
+            code="")
+    return FileContext(path=relpath, source=source,
+                       lines=source.splitlines(), tree=tree,
+                       suppressions=_extract_suppressions(source)), None
+
+
+def iter_python_files(root: str, targets: Sequence[str]) -> Iterator[str]:
+    """Yield repo-relative posix paths of ``.py`` files under the targets.
+
+    Targets may be files or directories, absolute or relative to ``root``;
+    hidden directories and ``__pycache__`` are skipped.  Each file is
+    yielded once even when targets overlap.
+    """
+    seen = set()
+    for target in targets:
+        absolute = target if os.path.isabs(target) else os.path.join(root, target)
+        if os.path.isfile(absolute):
+            candidates = [absolute] if absolute.endswith(".py") else []
+        else:
+            candidates = []
+            for dirpath, dirnames, filenames in sorted(os.walk(absolute)):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if not d.startswith(".")
+                                     and d != "__pycache__")
+                candidates.extend(os.path.join(dirpath, name)
+                                  for name in sorted(filenames)
+                                  if name.endswith(".py"))
+        for path in candidates:
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if rel not in seen:
+                seen.add(rel)
+                yield rel
+
+
+class Baseline:
+    """Checked-in multiset of grandfathered violations.
+
+    Entries are dicts with ``rule``, ``path``, ``code`` (the stripped
+    source line at the time of baselining — the matching key), an
+    informational ``line``, and a human ``justification``.  Matching is
+    count-aware: two identical violating lines in one file need two
+    entries.
+    """
+
+    def __init__(self, entries: Optional[List[Dict[str, object]]] = None
+                 ) -> None:
+        self.entries: List[Dict[str, object]] = list(entries or [])
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file ('' / missing file -> empty baseline)."""
+        if not path or not os.path.isfile(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return cls(payload.get("entries", []))
+
+    @staticmethod
+    def _key(rule: str, path: str, code: str) -> Tuple[str, str, str]:
+        return (rule, path, code.strip())
+
+    def split(self, violations: Sequence[Violation]
+              ) -> Tuple[List[Violation], List[Violation],
+                         List[Dict[str, object]]]:
+        """Partition violations into (new, baselined) plus stale entries."""
+        budget: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            key = self._key(str(entry.get("rule", "")),
+                            str(entry.get("path", "")),
+                            str(entry.get("code", "")))
+            budget[key] = budget.get(key, 0) + 1
+        fresh: List[Violation] = []
+        grandfathered: List[Violation] = []
+        for violation in violations:
+            key = self._key(violation.rule, violation.path, violation.code)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                grandfathered.append(violation)
+            else:
+                fresh.append(violation)
+        stale: List[Dict[str, object]] = []
+        for entry in self.entries:
+            key = self._key(str(entry.get("rule", "")),
+                            str(entry.get("path", "")),
+                            str(entry.get("code", "")))
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                stale.append(entry)
+        return fresh, grandfathered, stale
+
+    def render(self, violations: Sequence[Violation]) -> str:
+        """Serialize a fresh baseline for ``--update-baseline``.
+
+        Justifications of surviving entries are preserved (matched by
+        ``(rule, path, code)``); new entries get a ``TODO`` placeholder
+        that a human must replace before committing.
+        """
+        kept: Dict[Tuple[str, str, str], List[str]] = {}
+        for entry in self.entries:
+            key = self._key(str(entry.get("rule", "")),
+                            str(entry.get("path", "")),
+                            str(entry.get("code", "")))
+            kept.setdefault(key, []).append(
+                str(entry.get("justification", "")))
+        entries = []
+        for violation in sorted(violations,
+                                key=lambda v: (v.path, v.line, v.rule)):
+            key = self._key(violation.rule, violation.path, violation.code)
+            pool = kept.get(key)
+            justification = (pool.pop(0) if pool else
+                             "TODO: justify this grandfathered violation.")
+            entries.append({
+                "rule": violation.rule, "path": violation.path,
+                "line": violation.line, "code": violation.code,
+                "justification": justification,
+            })
+        return json.dumps({"version": 1, "entries": entries}, indent=2,
+                          sort_keys=False) + "\n"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` call."""
+
+    #: Violations not covered by a suppression or the baseline (failures).
+    violations: List[Violation]
+    #: Violations matched by a baseline entry (informational).
+    baselined: List[Violation]
+    #: Baseline entries that matched nothing (failures — prune them).
+    stale_baseline: List[Dict[str, object]]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the run should exit 0."""
+        return not self.violations and not self.stale_baseline
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe summary for ``--json`` output."""
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "baselined": [v.to_dict() for v in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "counts": {
+                "violations": len(self.violations),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+            },
+        }
+
+
+def run_lint(root: str,
+             targets: Optional[Sequence[str]] = None,
+             select: Optional[Iterable[str]] = None,
+             baseline: Optional[Baseline] = None,
+             ignore_scope: bool = False) -> LintResult:
+    """Lint the targets under ``root`` and return a :class:`LintResult`.
+
+    Args:
+        root: Repo root; paths in output are relative to it.
+        targets: Files/directories to lint (default
+            :data:`DEFAULT_TARGETS`, skipping any that do not exist).
+        select: Restrict to these rule names (default: every rule).
+        baseline: Grandfathered violations (default: empty).
+        ignore_scope: Run the selected rules on every discovered file
+            instead of each rule's own path scope (used by the
+            ``check_docstrings`` shim for explicit path arguments).
+    """
+    from .rules import all_rules, ProjectRule
+
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.name for rule in rules}
+        if unknown:
+            raise KeyError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.name in wanted]
+
+    if targets is None:
+        targets = [t for t in DEFAULT_TARGETS
+                   if os.path.exists(os.path.join(root, t))]
+    files: Dict[str, FileContext] = {}
+    raw: List[Violation] = []
+    for relpath in iter_python_files(root, targets):
+        ctx, parse_error = parse_file(os.path.join(root, relpath), relpath)
+        if parse_error is not None:
+            raw.append(parse_error)
+            continue
+        files[relpath] = ctx
+
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(files))
+            continue
+        for ctx in files.values():
+            if ignore_scope or rule.applies_to(ctx.path):
+                raw.extend(rule.check(ctx))
+
+    visible = [v for v in raw
+               if v.path not in files or not files[v.path].suppressed(v)]
+    visible.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    fresh, grandfathered, stale = (baseline or Baseline()).split(visible)
+    return LintResult(violations=fresh, baselined=grandfathered,
+                      stale_baseline=stale, files_checked=len(files))

@@ -1,0 +1,103 @@
+"""Rule registry for repro-lint (:mod:`repro.analysis`).
+
+A rule is a small object with a ``name``, a one-line ``description``, a
+path-scope predicate, and a ``check`` hook that yields
+:class:`~repro.analysis.engine.Violation` objects.  Rules register
+themselves with the :func:`register` decorator at import time; the engine
+(:mod:`repro.analysis.engine`) iterates :func:`all_rules` so adding a rule
+is one new module plus one import line below.
+
+Two rule shapes exist:
+
+* :class:`Rule` — per-file: ``check(ctx)`` sees one parsed
+  :class:`~repro.analysis.engine.FileContext` at a time.
+* :class:`ProjectRule` — cross-file: ``check_project(files)`` sees every
+  parsed file keyed by repo-relative posix path (used by digest-hygiene,
+  which cross-checks dataclass field sets against digest builders in
+  *other* modules).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import FileContext, Violation
+
+__all__ = ["Rule", "ProjectRule", "register", "all_rules", "get_rule"]
+
+
+class Rule:
+    """Base class for per-file lint rules.
+
+    Subclasses set :attr:`name` (the id used in suppressions, baselines,
+    and ``--select``) and :attr:`description`, and implement
+    :meth:`check`.  :meth:`applies_to` scopes the rule to a subtree of the
+    repo; the engine only calls ``check`` for files inside the scope
+    (unless the caller overrides scoping, e.g. the ``check_docstrings``
+    back-compat shim linting explicit paths).
+    """
+
+    #: Rule identifier (kebab-case), e.g. ``"rng-discipline"``.
+    name: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    description: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on ``path`` (repo-relative posix)."""
+        return True
+
+    def check(self, ctx: "FileContext") -> Iterator["Violation"]:
+        """Yield violations found in one parsed file."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _in_trees(path: str, prefixes: Iterable[str]) -> bool:
+        """True when ``path`` sits under any of the given tree prefixes."""
+        return any(path == p or path.startswith(p.rstrip("/") + "/")
+                   for p in prefixes)
+
+
+class ProjectRule(Rule):
+    """Base class for rules that need every parsed file at once."""
+
+    def check(self, ctx: "FileContext") -> Iterator["Violation"]:
+        """Per-file hook is unused for project rules."""
+        return iter(())
+
+    def check_project(self, files: Dict[str, "FileContext"]
+                      ) -> Iterator["Violation"]:
+        """Yield violations computed from the whole parsed file map."""
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register a rule by its name."""
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"{cls.__name__}: rules must set a name.")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name '{instance.name}'.")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by name."""
+    _load()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def get_rule(name: str) -> Rule:
+    """Look up one rule by name (raises ``KeyError`` on unknown names)."""
+    _load()
+    return _REGISTRY[name]
+
+
+def _load() -> None:
+    """Import every rule module exactly once (registration side effect)."""
+    from . import (digest, docstrings, exceptions,  # noqa: F401
+                   locks, rng, telemetry, wallclock)

@@ -1,0 +1,78 @@
+"""exception-hygiene: no silent broad catches, no load-bearing asserts.
+
+Two checks:
+
+* **broad except** — an ``except Exception`` / ``except BaseException`` /
+  bare ``except:`` handler that does not *unconditionally re-raise*
+  (i.e. whose last handler statement is not ``raise``) swallows bugs it
+  was never meant to see.  Narrow the type, or — at a genuine
+  keep-the-daemon-alive boundary — log the error and suppress the finding
+  inline with a justification comment.
+* **assert as control flow** — ``assert`` disappears under ``python -O``,
+  so a production invariant guarded by one silently stops being checked.
+  Raise ``ValueError`` / ``RuntimeError`` instead.  Test trees
+  (``tests/``, ``benchmarks/``) are exempt: pytest asserts are the
+  point there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name
+from . import Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches Exception/BaseException or everything."""
+    if handler.type is None:
+        return True
+    names = [handler.type] if not isinstance(handler.type, ast.Tuple) \
+        else list(handler.type.elts)
+    for node in names:
+        dotted = dotted_name(node)
+        if dotted and dotted[-1] in _BROAD:
+            return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler's final statement unconditionally re-raises."""
+    return bool(handler.body) and isinstance(handler.body[-1], ast.Raise)
+
+
+@register
+class ExceptionHygieneRule(Rule):
+    """Flag swallowed broad excepts and production asserts."""
+
+    name = "exception-hygiene"
+    description = ("no swallowed `except Exception` (narrow, re-raise, or "
+                   "log + suppress with justification); no `assert` as "
+                   "production control flow in src/")
+
+    def applies_to(self, path: str) -> bool:
+        """Production code and tooling; test trees keep their asserts."""
+        return self._in_trees(path, ("src/repro", "tools"))
+
+    def check(self, ctx) -> Iterator:
+        """Walk handlers and (in src/) assert statements."""
+        asserts_count = self._in_trees(ctx.path, ("src/repro",))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if _handler_is_broad(node) and not _reraises(node):
+                    caught = ("bare except" if node.type is None else
+                              "except " + ".".join(
+                                  dotted_name(node.type) or ("Exception",)))
+                    yield ctx.violation(
+                        self.name, node,
+                        f"{caught} does not re-raise — narrow the type, or "
+                        "log at warning level and suppress inline with a "
+                        "justification")
+            elif asserts_count and isinstance(node, ast.Assert):
+                yield ctx.violation(
+                    self.name, node,
+                    "assert is stripped under `python -O` — raise "
+                    "ValueError/RuntimeError for production invariants")

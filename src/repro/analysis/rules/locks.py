@@ -1,0 +1,76 @@
+"""lock-discipline: service-layer writes go through the sanctioned paths.
+
+With N concurrent writers (schedulers, daemons, a future distributed
+fleet) sharing the sharded store, write discipline is a correctness
+property: whole-file state must be swapped in with
+:func:`repro.service.locks.atomic_write` (temp file + ``os.replace``) and
+shard appends must use the single-``write`` ``O_APPEND`` idiom under a
+:class:`~repro.service.locks.FileLock`.  A bare ``open(path, "w")`` in
+``service/`` is a torn-read factory — this rule flags every write-mode
+file open that bypasses the primitives.
+
+``service/locks.py`` (the primitives themselves) is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import call_mode, dotted_name, iter_calls
+from . import Rule, register
+
+_EXEMPT = ("src/repro/service/locks.py",)
+
+_WRITE_CHARS = set("wax+")
+
+
+def _is_write_mode(mode: str) -> bool:
+    """Whether an ``open`` mode string can mutate the file."""
+    return bool(_WRITE_CHARS.intersection(mode))
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Flag write-mode file opens in service/ outside the lock primitives."""
+
+    name = "lock-discipline"
+    description = ("service/ writes must use locks.atomic_write or the "
+                   "locked O_APPEND store idiom, not bare open(..., 'w')")
+
+    def applies_to(self, path: str) -> bool:
+        """The service layer, minus ``locks.py`` itself."""
+        return self._in_trees(path, ("src/repro/service",)) and \
+            path not in _EXEMPT
+
+    def check(self, ctx) -> Iterator:
+        """Flag ``open``/``os.fdopen`` write modes and truncating os.open."""
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            if name in (("open",), ("os", "fdopen"), ("io", "open")):
+                mode = call_mode(call)
+                if mode is not None and _is_write_mode(mode):
+                    yield ctx.violation(
+                        self.name, call,
+                        f"write-mode {'.'.join(name)}(..., '{mode}') in "
+                        "service/ — use locks.atomic_write (whole files) "
+                        "or a FileLock-guarded O_APPEND append (store "
+                        "shards)")
+            elif name == ("os", "open"):
+                flags = ast.get_source_segment(ctx.source, call) or ""
+                writable = "O_WRONLY" in flags or "O_RDWR" in flags
+                if "O_TRUNC" in flags or (writable and
+                                          "O_APPEND" not in flags):
+                    yield ctx.violation(
+                        self.name, call,
+                        "os.open with truncating/non-append write flags in "
+                        "service/ — only the locked O_APPEND append idiom "
+                        "may write in place")
+            elif len(name) >= 2 and name[-1] in ("write_text",
+                                                 "write_bytes"):
+                yield ctx.violation(
+                    self.name, call,
+                    f"{name[-1]}() rewrites the file non-atomically — use "
+                    "locks.atomic_write in service/")

@@ -1,0 +1,97 @@
+"""rng-discipline: every random stream must be explicit and reproducible.
+
+Three failure shapes, all of which have bitten this repo before (the PR 5
+``derive_rng`` fix exists because of the third one):
+
+* **global-state numpy RNG** — ``np.random.seed`` / ``np.random.rand`` /
+  any legacy ``np.random.*`` draw mutates interpreter-global state, so two
+  components silently couple their streams;
+* **unseeded generators** — ``np.random.default_rng()`` with no seed gives
+  a different stream every run, which can never reproduce a verdict;
+* **derive-by-draw** — seeding a child generator by *drawing* from the
+  parent (``default_rng(rng.integers(...))``) consumes parent state, so
+  the child depends on call order.  Children must come from
+  :func:`repro.utils.rng.derive_rng` (or ``SeedSequence.spawn``), which
+  leave the parent untouched.
+
+``repro/utils/rng.py`` itself is exempt: it is the sanctioned wrapper
+around the raw numpy seeding APIs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name, iter_calls
+from . import Rule, register
+
+#: ``np.random`` members that are fine to touch: the Generator API itself.
+_SANCTIONED = {"default_rng", "Generator", "SeedSequence", "BitGenerator",
+               "PCG64", "Philox", "SFC64", "MT19937"}
+
+#: Generator methods whose result, fed to ``default_rng``, means the child
+#: stream was derived by consuming parent state.
+_DRAW_METHODS = {"integers", "random", "bytes", "choice", "normal",
+                 "uniform", "standard_normal"}
+
+#: Modules allowed to call the raw seeding APIs directly.
+_EXEMPT = ("src/repro/utils/rng.py",)
+
+
+@register
+class RngDisciplineRule(Rule):
+    """Flag global-state numpy RNG, unseeded generators, derive-by-draw."""
+
+    name = "rng-discipline"
+    description = ("no np.random global state, no unseeded default_rng(), "
+                   "derive child streams via utils/rng.derive_rng")
+
+    def applies_to(self, path: str) -> bool:
+        """src/repro, tools, and benchmarks, minus the rng module itself."""
+        if path in _EXEMPT:
+            return False
+        return self._in_trees(path, ("src/repro", "tools", "benchmarks"))
+
+    def check(self, ctx) -> Iterator:
+        """Inspect every call whose target resolves into ``np.random``."""
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None:
+                continue
+            is_np_random = (len(name) >= 2 and name[-2] == "random"
+                            and name[0] in ("np", "numpy"))
+            if is_np_random and name[-1] not in _SANCTIONED:
+                yield ctx.violation(
+                    self.name, call,
+                    f"global-state RNG call np.random.{name[-1]}(); pass "
+                    "an explicit numpy.random.Generator instead")
+                continue
+            if name[-1] != "default_rng" or not (is_np_random
+                                                 or name == ("default_rng",)):
+                continue
+            if not call.args and not call.keywords:
+                yield ctx.violation(
+                    self.name, call,
+                    "unseeded default_rng() — nondeterministic stream; "
+                    "seed it or accept a Generator from the caller")
+                continue
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                if self._contains_draw(arg):
+                    yield ctx.violation(
+                        self.name, call,
+                        "child stream seeded by drawing from a parent "
+                        "generator; use repro.utils.rng.derive_rng (or "
+                        "SeedSequence.spawn) so the parent state is "
+                        "untouched")
+                    break
+
+    @staticmethod
+    def _contains_draw(node: ast.AST) -> bool:
+        """True when the expression draws from a Generator-like object."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    sub.func.attr in _DRAW_METHODS:
+                return True
+        return False

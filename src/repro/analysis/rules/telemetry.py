@@ -1,0 +1,66 @@
+"""telemetry-guard: hot-loop telemetry must use the disabled-fast-path idiom.
+
+``core/`` contains the inversion hot loops; telemetry there must cost one
+attribute check when disabled (see ``docs/ops.md`` and PR 7's benchmark
+gate).  The documented idiom:
+
+* hoist ``prof = PROFILER if PROFILER.enabled else None`` before a loop
+  and guard calls with ``if prof is not None``;
+* use the self-guarded context helpers ``PROFILER.phase(...)`` /
+  ``TRACER.span(...)`` / the module-level ``span`` shorthand, each of
+  which performs exactly one ``enabled`` check;
+* never mutate tracer state from ``core/`` — trace lifecycle (begin,
+  adopt, drain) belongs to the service layer.
+
+This rule flags direct ``PROFILER.add_phase`` / ``PROFILER.add_count``
+calls (the unhoisted form pays a method call plus lock per iteration even
+when disabled) and any ``TRACER`` method other than the self-guarded
+``span`` / ``check_fork`` inside ``src/repro/core/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import iter_calls
+from . import Rule, register
+
+#: TRACER methods core/ may call: both are single-check self-guarded.
+_TRACER_ALLOWED = {"span", "check_fork"}
+
+
+@register
+class TelemetryGuardRule(Rule):
+    """Keep PROFILER/TRACER usage in core/ on the documented fast path."""
+
+    name = "telemetry-guard"
+    description = ("core/ telemetry must hoist `prof = PROFILER if "
+                   "PROFILER.enabled else None` and leave tracer lifecycle "
+                   "to the service layer")
+
+    def applies_to(self, path: str) -> bool:
+        """Only the detection core is a hot path."""
+        return self._in_trees(path, ("src/repro/core",))
+
+    def check(self, ctx) -> Iterator:
+        """Flag unhoisted PROFILER recording and tracer state management."""
+        for call in iter_calls(ctx.tree):
+            func = call.func
+            if not isinstance(func, ast.Attribute) or \
+                    not isinstance(func.value, ast.Name):
+                continue
+            owner, method = func.value.id, func.attr
+            if owner == "PROFILER" and method in ("add_phase", "add_count"):
+                yield ctx.violation(
+                    self.name, call,
+                    f"direct PROFILER.{method}() in core/ — hoist `prof = "
+                    "PROFILER if PROFILER.enabled else None` and call "
+                    "through the guarded local so disabled telemetry costs "
+                    "one None check")
+            elif owner == "TRACER" and method not in _TRACER_ALLOWED:
+                yield ctx.violation(
+                    self.name, call,
+                    f"TRACER.{method}() in core/ — trace lifecycle belongs "
+                    "to the service layer; core may only use the "
+                    "self-guarded span()/check_fork()")

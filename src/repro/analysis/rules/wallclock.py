@@ -1,0 +1,62 @@
+"""no-wallclock-in-core: wall-clock reads stay in obs/ and service/.
+
+Everything outside the observability and service layers must be a pure
+function of (inputs, seed): a ``time.time()`` or ``datetime.now()`` in
+``core/`` / ``eval/`` / ``nn/`` is either dead weight or — worse — leaks
+into a record, a digest, or a decision and silently breaks replayability.
+Durations are fine everywhere via the monotonic clocks
+(``time.perf_counter`` / ``time.monotonic``), which this rule ignores.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import dotted_name, iter_calls
+from . import Rule, register
+
+#: ``time``-module members that read the wall clock.
+_TIME_MEMBERS = {"time", "time_ns", "localtime", "gmtime", "ctime",
+                 "asctime", "strftime"}
+
+#: Constructor-style wall-clock reads on datetime/date objects.
+_DATETIME_MEMBERS = {"now", "utcnow", "today", "fromtimestamp"}
+
+#: Trees allowed to read the wall clock.
+_ALLOWED = ("src/repro/obs", "src/repro/service")
+
+
+@register
+class NoWallclockInCoreRule(Rule):
+    """Flag wall-clock reads outside obs/ and service/."""
+
+    name = "no-wallclock-in-core"
+    description = ("time.time()/datetime.now() confined to obs/ + service/; "
+                   "everything else must be replayable (use perf_counter "
+                   "for durations)")
+
+    def applies_to(self, path: str) -> bool:
+        """All of src/repro except the observability and service layers."""
+        return self._in_trees(path, ("src/repro",)) and \
+            not self._in_trees(path, _ALLOWED)
+
+    def check(self, ctx) -> Iterator:
+        """Flag calls that resolve to a wall-clock read."""
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func)
+            if name is None or len(name) < 2:
+                continue
+            if name[-2] == "time" and name[-1] in _TIME_MEMBERS:
+                yield ctx.violation(
+                    self.name, call,
+                    f"wall-clock read time.{name[-1]}() outside obs//"
+                    "service/ — core paths must be replayable (use "
+                    "time.perf_counter for durations)")
+            elif name[-2] in ("datetime", "date") and \
+                    name[-1] in _DATETIME_MEMBERS:
+                yield ctx.violation(
+                    self.name, call,
+                    f"wall-clock read {name[-2]}.{name[-1]}() outside "
+                    "obs//service/ — timestamps belong to the service "
+                    "layer")

@@ -227,7 +227,10 @@ def _conv2d_input_grad(grad_out: np.ndarray, weight: np.ndarray,
     # per group so the transposed conv is itself a grouped conv.
     flipped = weight[:, :, ::-1, ::-1]
     cols, gh, gw = im2col(padded, kernel_h, kernel_w, 1, 0)
-    assert (gh, gw) == (height, width)
+    if (gh, gw) != (height, width):
+        raise RuntimeError(
+            f"conv2d input-grad: transposed-conv extent ({gh}, {gw}) does "
+            f"not match the input ({height}, {width}).")
     if groups == 1:
         w_mat = flipped.transpose(1, 0, 2, 3).reshape(in_channels, -1)
         grad_x = (cols.reshape(-1, out_channels * kernel_h * kernel_w)

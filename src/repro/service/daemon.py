@@ -226,7 +226,10 @@ def _child_entry(conn, scan_fn, resolved) -> None:
     try:
         record = scan_fn(resolved)
         conn.send(("ok", record.to_dict()))
-    except BaseException as error:  # noqa: BLE001 - forwarded to the parent
+    # Process boundary: every failure (incl. KeyboardInterrupt/SystemExit)
+    # is serialized onto the pipe so the parent can log/retry it — nothing
+    # is swallowed, it is forwarded.
+    except BaseException as error:  # repro-lint: disable=exception-hygiene
         conn.send(("error", f"{type(error).__name__}: {error}"))
     finally:
         conn.close()
@@ -370,7 +373,10 @@ class WatchDaemon:
                         resolved = resolve_repair(self._repair_request_for(job))
                     else:
                         resolved = resolve_request(self._request_for(job))
-            except Exception as error:  # unreadable checkpoint, bad metadata...
+            except (OSError, ValueError, KeyError) as error:
+                # Unreadable checkpoint, bad metadata, unknown model/dataset
+                # (CheckpointMismatchError is a ValueError) — the file is
+                # bad, not the daemon; skip it and keep watching.
                 _LOG.warning("%s [%s]: cannot resolve (%s)", job.checkpoint,
                              job.detector, error)
                 metrics.failures += 1
@@ -394,7 +400,10 @@ class WatchDaemon:
             try:
                 record = run_scan_in_child(worker_fn, resolved,
                                            self.config.job_timeout)
-            except Exception as error:
+            # Child jobs can die in arbitrary ways (timeout, OOM kill, any
+            # detector error); the daemon's liveness contract is to log,
+            # retry within budget, and keep watching.
+            except Exception as error:  # repro-lint: disable=exception-hygiene
                 if queued.attempts < self.config.max_retries:
                     metrics.retries += 1
                     _LOG.warning("%s [%s]: %s — retrying (%d/%d)",
@@ -522,5 +531,7 @@ class WatchDaemon:
                     if store is not None else [])
             registry = build_service_registry(rows, stats)
             atomic_write(self.metrics_path, registry.render())
-        except Exception as error:  # noqa: BLE001 - stats must keep flowing
+        # Telemetry export must never take the daemon down: any failure is
+        # logged and the next cycle retries with fresh store rows.
+        except Exception as error:  # repro-lint: disable=exception-hygiene
             _LOG.warning("metrics.prom export failed: %s", error)

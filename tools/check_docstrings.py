@@ -1,11 +1,11 @@
 #!/usr/bin/env python
-"""Docstring-coverage gate for the service/mitigation layers and detection core.
+"""Docstring-coverage gate — back-compat shim over repro-lint.
 
-Every public module, class, function, and method in ``src/repro/service/``,
-``src/repro/mitigation/``, and ``src/repro/core/detection.py`` must carry a
-docstring (public = name not starting with ``_``; dunders and private
-helpers are exempt).  Run by ``make docs-check`` and CI; exits 1 listing
-every miss.
+The check itself now lives in the lint framework as the
+``docstring-coverage`` rule (:mod:`repro.analysis.rules.docstrings`); this
+script keeps the historical entry point (``make docs-check``, CI, muscle
+memory) alive by delegating to it.  ``python -m repro.analysis`` runs the
+same rule alongside the rest of the suite.
 
 Usage::
 
@@ -15,84 +15,35 @@ Usage::
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
-from typing import Iterator, List, Tuple
+from typing import List, Optional
 
 _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
 
-DEFAULT_TARGETS = [
-    os.path.join(_ROOT, "src", "repro", "service"),
-    os.path.join(_ROOT, "src", "repro", "mitigation"),
-    os.path.join(_ROOT, "src", "repro", "obs"),
-    os.path.join(_ROOT, "src", "repro", "core", "detection.py"),
-]
+from repro.analysis import run_lint  # noqa: E402 - path setup first
+from repro.analysis.rules.docstrings import TARGETS  # noqa: E402
 
 
-def _python_files(target: str) -> Iterator[str]:
-    """Yield the ``.py`` files under a file-or-directory target, sorted."""
-    if os.path.isfile(target):
-        yield target
-        return
-    for dirpath, _dirnames, filenames in sorted(os.walk(target)):
-        for name in sorted(filenames):
-            if name.endswith(".py"):
-                yield os.path.join(dirpath, name)
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry: run the docstring-coverage rule, exit 1 on any miss.
 
-
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _missing_in_class(node: ast.ClassDef) -> Iterator[Tuple[int, str]]:
-    """Yield (lineno, description) for undocumented public members of a class."""
-    for child in node.body:
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
-                _is_public(child.name):
-            if ast.get_docstring(child) is None:
-                yield child.lineno, f"method {node.name}.{child.name}"
-
-
-def check_file(path: str) -> List[str]:
-    """All docstring-coverage violations in one file, formatted for output."""
-    with open(path, "r", encoding="utf-8") as handle:
-        tree = ast.parse(handle.read(), filename=path)
-    relative = os.path.relpath(path, _ROOT)
-    problems: List[str] = []
-    if ast.get_docstring(tree) is None:
-        problems.append(f"{relative}:1: missing module docstring")
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
-                _is_public(node.name):
-            if ast.get_docstring(node) is None:
-                problems.append(f"{relative}:{node.lineno}: missing docstring "
-                                f"for function {node.name}")
-        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
-            if ast.get_docstring(node) is None:
-                problems.append(f"{relative}:{node.lineno}: missing docstring "
-                                f"for class {node.name}")
-            for lineno, description in _missing_in_class(node):
-                problems.append(f"{relative}:{lineno}: missing docstring "
-                                f"for {description}")
-    return problems
-
-
-def main(argv=None) -> int:
-    """CLI entry: check the targets, print violations, exit 1 on any."""
-    targets = (argv if argv else sys.argv[1:]) or DEFAULT_TARGETS
-    problems: List[str] = []
-    checked = 0
-    for target in targets:
-        for path in _python_files(target):
-            problems.extend(check_file(path))
-            checked += 1
-    if problems:
-        print("\n".join(problems), file=sys.stderr)
-        print(f"\n{len(problems)} missing docstring(s) across {checked} "
-              "file(s).", file=sys.stderr)
+    With no arguments the rule's own target set applies (service/,
+    mitigation/, obs/, analysis/, core/detection.py); explicit paths are
+    checked in full, mirroring the original script.
+    """
+    targets = (argv if argv is not None else sys.argv[1:]) or None
+    result = run_lint(root=_ROOT, targets=targets or list(TARGETS),
+                      select=["docstring-coverage"], baseline=None,
+                      ignore_scope=targets is not None)
+    if not result.ok:
+        for violation in result.violations:
+            print(violation.format(), file=sys.stderr)
+        print(f"\n{len(result.violations)} missing docstring(s) across "
+              f"{result.files_checked} file(s).", file=sys.stderr)
         return 1
-    print(f"docstring coverage OK ({checked} file(s)).")
+    print(f"docstring coverage OK ({result.files_checked} file(s)).")
     return 0
 
 

@@ -3,7 +3,7 @@
 
 The reference covers the curated ``__all__`` of the six public packages —
 ``repro.core``, ``repro.attacks``, ``repro.mitigation``, ``repro.service``,
-``repro.obs``, ``repro.eval`` — and is
+``repro.obs``, ``repro.eval``, ``repro.analysis`` — and is
 rendered purely from live docstrings and signatures, so it can never drift
 from the code without ``--check`` (wired into ``make docs-check`` / CI)
 failing.
@@ -31,7 +31,7 @@ _ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(_ROOT, "src"))
 
 PACKAGES = ["repro.core", "repro.attacks", "repro.mitigation",
-            "repro.service", "repro.obs", "repro.eval"]
+            "repro.service", "repro.obs", "repro.eval", "repro.analysis"]
 
 HEADER = """\
 # API reference
