@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 lint lint-baseline bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke
+.PHONY: test tier1 lint lint-baseline bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke api-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -67,6 +67,12 @@ repair-smoke:
 ## stitched cross-process span tree.
 obs-smoke:
 	$(PYTHON) tools/obs_smoke.py
+
+## API smoke: boot the HTTP server on an ephemeral port, run one scan
+## per routing strategy over real sockets, assert strategy semantics,
+## cost accounting, trace stitching, and that /metrics parses.
+api-smoke:
+	$(PYTHON) tools/api_smoke.py
 
 ## Mega-batch parity smoke (fast; tiny model, 4 classes): flagged classes
 ## identical across sequential/batched/mega, exact match without cascade.

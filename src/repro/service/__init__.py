@@ -23,10 +23,19 @@ The service layer turns the in-process detectors into throughput:
 * :mod:`repro.service.daemon` — :class:`WatchDaemon`, the long-running
   ``python -m repro watch`` loop over a checkpoint drop directory with a
   JSON stats endpoint and an opt-in auto-repair mode;
+* :mod:`repro.service.routing` — strategy-routed triage
+  (:class:`RoutingPolicy` / :func:`route_scan`): ``fastest`` /
+  ``cheapest`` / ``thorough`` detector escalation plans with per-request
+  cost breakdowns;
+* :mod:`repro.service.api` — :class:`ApiServer`, the
+  ``python -m repro serve`` HTTP front end (submit/poll/result/traces/
+  metrics endpoints over the shared queue, scheduler, and store);
 * :mod:`repro.service.cli` — the ``python -m repro`` command line
   (``scan`` / ``grid`` / ``repair`` / ``report`` / ``experiment`` /
-  ``watch`` / ``store compact`` / ``store merge``).
+  ``watch`` / ``serve`` / ``store compact`` / ``store merge``).
 """
+
+from .api import ApiJob, ApiServer
 
 from .daemon import CheckpointWatcher, DaemonConfig, WatchDaemon
 from .fingerprint import (
@@ -38,6 +47,14 @@ from .fingerprint import (
 )
 from .locks import FileLock, LockTimeout, atomic_write
 from .records import RepairRecord, ScanRecord, ScanRequest, record_from_dict
+from .routing import (
+    STRATEGIES,
+    RoutingPolicy,
+    TriageResult,
+    escalation_reason,
+    record_max_anomaly,
+    route_scan,
+)
 from .repair import (
     RepairRequest,
     ResolvedRepair,
@@ -93,4 +110,12 @@ __all__ = [
     "CheckpointWatcher",
     "DaemonConfig",
     "WatchDaemon",
+    "STRATEGIES",
+    "RoutingPolicy",
+    "TriageResult",
+    "route_scan",
+    "record_max_anomaly",
+    "escalation_reason",
+    "ApiJob",
+    "ApiServer",
 ]

@@ -18,6 +18,8 @@ Subcommands::
     python -m repro trace --store scans/            # list recorded traces
     python -m repro trace <trace-id> --store scans/ # render one span tree
     python -m repro metrics --store scans/          # Prometheus exposition
+    python -m repro serve scans/ --port 8080        # HTTP scan/repair API
+    python -m repro scan checkpoint.npz --strategy fastest  # routed triage
 
 ``scan`` runs one detector on one saved model; ``grid`` fans a
 checkpoint x detector matrix across the worker pool; ``repair`` runs the
@@ -31,7 +33,15 @@ with true ASR before/after); ``watch`` runs the drop-directory daemon
 checkpoint automatically); ``store compact`` / ``store merge`` maintain a
 store in place; ``trace`` renders the span trees recorded in
 ``spans.jsonl`` beside the store; ``metrics`` renders the same Prometheus
-exposition the daemon writes to ``metrics.prom`` each cycle.
+exposition the daemon writes to ``metrics.prom`` each cycle; ``serve``
+runs the long-lived HTTP front end (:mod:`repro.service.api`) over the
+same store.
+
+``scan --strategy fastest|cheapest|thorough`` replaces the single
+``--detector`` run with the strategy-routed escalation plan
+(:mod:`repro.service.routing`): USB probes first and NC/TABOR run only on
+suspicion, with a per-request cost breakdown printed (and stamped on the
+record telemetry).
 
 Telemetry (spans + per-phase profiles) is on by default for service
 commands; disable it per invocation with ``--no-telemetry`` or globally
@@ -69,6 +79,7 @@ from .daemon import DaemonConfig, WatchDaemon, default_stats_path
 from .locks import atomic_write
 from .records import KNOWN_DETECTORS, RepairRecord, ScanRecord, ScanRequest
 from .repair import RepairRequest, run_repairs
+from .routing import STRATEGIES, RoutingPolicy, route_scan
 from .scheduler import ScanScheduler
 from .store import SPANS_NAME, open_store, sidecar_path
 
@@ -180,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("checkpoint", help="Path to a .npz checkpoint.")
     scan.add_argument("--detector", default="usb",
                       choices=list(KNOWN_DETECTORS))
+    scan.add_argument("--strategy", default=None, choices=list(STRATEGIES),
+                      help="Run the strategy-routed triage plan instead of "
+                           "a single detector: USB probes first, NC/TABOR "
+                           "escalate only on suspicion (fastest: one "
+                           "parallel escalation batch; cheapest: serial, "
+                           "stop at first confirmation; thorough: all).")
     _add_scan_options(scan)
     _add_common(scan)
 
@@ -254,6 +271,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "recorded traces).")
     trace.add_argument("--store", default=DEFAULT_STORE,
                        help="Result store whose spans.jsonl sidecar to read.")
+
+    serve = commands.add_parser(
+        "serve", help="Run the HTTP scan/repair API over a result store.")
+    serve.add_argument("store", help="Result store the API reads and writes "
+                                     "(directory for the sharded layout).")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="Bind address (default: loopback).")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="Bind port; 0 picks an ephemeral port.")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="Scheduler worker processes; 0/1 runs scans "
+                            "inline on the dispatcher thread.")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="Retry budget per failed job before it is "
+                            "marked failed.")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="Disable trace spans and per-phase profiling.")
 
     metrics = commands.add_parser(
         "metrics", help="Render service metrics in Prometheus text format.")
@@ -363,9 +397,39 @@ def _print_records(records: Sequence[ScanRecord], as_json: bool,
 # ---------------------------------------------------------------------- #
 # Subcommands
 # ---------------------------------------------------------------------- #
+def _print_triage(result, as_json: bool) -> None:
+    """Render one routed-triage result (verdict, stages, cost ledger)."""
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return
+    breakdown = result.cost_breakdown
+    verdict = "BACKDOORED" if result.is_backdoored else "clean"
+    print(f"triage[{result.strategy}] -> {verdict} "
+          f"(total {breakdown['total_seconds']:.2f}s fresh compute)")
+    for stage in breakdown["stages"]:
+        cached = " (cache hit)" if stage["cache_hit"] else ""
+        print(f"  ran     {stage['detector']:6s} {stage['verdict']:10s} "
+              f"max-anomaly={stage['max_anomaly']:6.2f} "
+              f"{stage['seconds']:.2f}s{cached}")
+    for stage in breakdown["skipped"]:
+        print(f"  skipped {stage['detector']:6s} -> {stage['reason']}")
+    if breakdown.get("escalation_reason"):
+        print(f"  escalation: {breakdown['escalation_reason']}")
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
-    """``scan``: one checkpoint, one detector, verdict to stdout."""
+    """``scan``: one checkpoint, one detector, verdict to stdout.
+
+    With ``--strategy`` the single-detector run becomes the routed triage
+    plan (see :mod:`repro.service.routing`).
+    """
     scheduler = _make_scheduler(args)
+    if args.strategy:
+        request = _request_from_args(args, args.checkpoint, "usb")
+        result = route_scan(scheduler, request,
+                            RoutingPolicy(strategy=args.strategy))
+        _print_triage(result, as_json=args.as_json)
+        return 0
     record = scheduler.scan_one(_request_from_args(args, args.checkpoint,
                                                    args.detector))
     if args.as_json:
@@ -648,6 +712,19 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the HTTP scan/repair API until interrupted."""
+    from .api import ApiServer
+    server = ApiServer(args.store, host=args.host, port=args.port,
+                       workers=args.workers, job_retries=args.retries,
+                       telemetry=False if args.no_telemetry else None)
+    print(f"serving http://{server.host}:{server.port} "
+          f"(store: {args.store}; workers: {max(args.workers, 1)}; "
+          f"retries: {args.retries}) — Ctrl-C to drain and exit")
+    server.serve_forever()
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     """``experiment``: train + scan one paper table along the scenario axis.
 
@@ -741,7 +818,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"scan": _cmd_scan, "grid": _cmd_grid, "repair": _cmd_repair,
                 "report": _cmd_report, "experiment": _cmd_experiment,
                 "watch": _cmd_watch, "store": _cmd_store,
-                "trace": _cmd_trace, "metrics": _cmd_metrics}
+                "trace": _cmd_trace, "metrics": _cmd_metrics,
+                "serve": _cmd_serve}
     try:
         return handlers[args.command](args)
     except (OSError, KeyError, ValueError) as error:

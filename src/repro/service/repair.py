@@ -391,11 +391,16 @@ def run_repairs(scheduler: ScanScheduler,
         PROFILER.enable()
         tracing = True
 
+    # Like ``ScanScheduler.scan``, roots join an already-active trace (the
+    # HTTP API's per-request span) instead of opening fresh ones.
+    ambient_trace, ambient_parent = TRACER.current() if tracing else ("", "")
     checkpoint_cache: Dict[str, tuple] = {}
     resolved: List[ResolvedRepair] = []
     roots = []
     for request in requests:
-        root = (TRACER.begin("repair.request", trace_id=new_trace_id(),
+        root = (TRACER.begin("repair.request",
+                             trace_id=ambient_trace or new_trace_id(),
+                             parent_id=ambient_parent,
                              detector=request.scan.detector,
                              checkpoint=request.scan.checkpoint,
                              strategy=request.strategy)

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import threading
 import time
 from bisect import bisect_left, insort
 from collections import deque
@@ -500,13 +501,19 @@ class QueuedJob:
 class JobQueue:
     """Prioritized FIFO job queue with retry bookkeeping (heap-based).
 
-    Not thread-safe by itself — the scheduler and the daemon drive it from a
-    single dispatcher loop (workers never touch the queue).
+    Not thread-safe by default — the scheduler and the daemon drive it from
+    a single dispatcher loop (workers never touch the queue).  Pass
+    ``thread_safe=True`` for producers and consumers on different threads
+    (the HTTP API's handler threads push while its dispatcher pops): every
+    operation then runs under one condition variable, and :meth:`pop` can
+    block until a job arrives.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, thread_safe: bool = False) -> None:
         self._heap: List[QueuedJob] = []
         self._sequence = 0
+        self._cond: Optional[threading.Condition] = (
+            threading.Condition() if thread_safe else None)
 
     def push(self, payload: Any, priority: int = 0) -> QueuedJob:
         """Enqueue ``payload``; lower ``priority`` runs first.
@@ -514,23 +521,47 @@ class JobQueue:
         Returns:
             The :class:`QueuedJob` wrapper (useful for later :meth:`requeue`).
         """
+        if self._cond is None:
+            return self._push(payload, priority, attempts=0)
+        with self._cond:
+            job = self._push(payload, priority, attempts=0)
+            self._cond.notify()
+            return job
+
+    def _push(self, payload: Any, priority: int, attempts: int) -> QueuedJob:
         job = QueuedJob(priority=int(priority), sequence=self._sequence,
-                        payload=payload)
+                        payload=payload, attempts=attempts)
         self._sequence += 1
         heapq.heappush(self._heap, job)
         return job
 
-    def pop(self) -> QueuedJob:
-        """Dequeue the front job (raises :class:`IndexError` when empty)."""
-        return heapq.heappop(self._heap)
+    def pop(self, block: bool = False,
+            timeout: Optional[float] = None) -> QueuedJob:
+        """Dequeue the front job (raises :class:`IndexError` when empty).
+
+        Args:
+            block: Wait for a job instead of raising immediately (only
+                meaningful on a ``thread_safe`` queue).
+            timeout: Give up after this many seconds of blocking;
+                :class:`IndexError` is raised when the wait expires empty.
+        """
+        if self._cond is None:
+            return heapq.heappop(self._heap)
+        with self._cond:
+            if block:
+                self._cond.wait_for(lambda: bool(self._heap), timeout=timeout)
+            return heapq.heappop(self._heap)
 
     def requeue(self, job: QueuedJob) -> QueuedJob:
         """Re-enqueue a failed job behind same-priority peers, counting the attempt."""
-        retry = QueuedJob(priority=job.priority, sequence=self._sequence,
-                          payload=job.payload, attempts=job.attempts + 1)
-        self._sequence += 1
-        heapq.heappush(self._heap, retry)
-        return retry
+        if self._cond is None:
+            return self._push(job.payload, job.priority,
+                              attempts=job.attempts + 1)
+        with self._cond:
+            retry = self._push(job.payload, job.priority,
+                               attempts=job.attempts + 1)
+            self._cond.notify()
+            return retry
 
     def __len__(self) -> int:
         """Number of queued (not yet popped) jobs."""
@@ -869,12 +900,19 @@ class ScanScheduler:
 
         # Each request gets its own trace rooted at a ``scan.request`` span;
         # resolution (and its fingerprint span) runs inside that context so
-        # parent-side work parents correctly before dispatch.
+        # parent-side work parents correctly before dispatch.  When a caller
+        # already holds a trace context (the HTTP API roots one span per
+        # request, the triage router runs stages under it), the roots join
+        # that trace instead of opening fresh ones — the whole escalation
+        # plan renders as one stitched tree.
+        ambient_trace, ambient_parent = TRACER.current() if tracing else ("", "")
         checkpoint_cache: Dict[str, tuple] = {}
         resolved: List[ResolvedScan] = []
         roots = []
         for request in requests:
-            root = (TRACER.begin("scan.request", trace_id=new_trace_id(),
+            root = (TRACER.begin("scan.request",
+                                 trace_id=ambient_trace or new_trace_id(),
+                                 parent_id=ambient_parent,
                                  detector=request.detector,
                                  checkpoint=request.checkpoint)
                     if tracing else None)

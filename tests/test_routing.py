@@ -1,0 +1,316 @@
+"""Decision-table tests for strategy-routed triage (repro.service.routing).
+
+Every strategy's escalation behaviour is pinned against a stub scheduler
+that returns synthetic records, so the tables run in milliseconds and the
+assertions are about *routing decisions* (which detectors ran, in which
+batches, what was skipped and why) and *cost accounting* (stage seconds
+sum to the reported total; cache hits cost zero fresh seconds), not about
+detector numerics.
+"""
+
+import pytest
+
+from repro.service.records import ScanRecord, ScanRequest
+from repro.service.routing import (
+    STRATEGIES,
+    RoutingPolicy,
+    TriageResult,
+    escalation_reason,
+    record_max_anomaly,
+    route_scan,
+)
+
+
+def make_record(detector="usb", anomalies=None, flagged=(), seconds=1.0,
+                cache_hit=False, pair_anomalies=None):
+    """A synthetic ScanRecord with the given anomaly profile."""
+    anomalies = anomalies or {}
+    detection = {"anomaly_indices": {str(k): float(v)
+                                     for k, v in anomalies.items()}}
+    if pair_anomalies:
+        detection["pair_anomaly_indices"] = dict(pair_anomalies)
+    record = ScanRecord(
+        key=f"fp:{detector}:digest", fingerprint="fp", config_digest="digest",
+        checkpoint="ckpt.npz", model="basic_cnn", dataset="cifar10",
+        detector=detector, is_backdoored=bool(flagged),
+        flagged_classes=tuple(flagged),
+        suspect_class=(max(flagged, key=lambda c: anomalies.get(c, 0.0))
+                       if flagged else None),
+        seconds=float(seconds), detection=detection)
+    record.cache_hit = cache_hit
+    return record
+
+
+class StubScheduler:
+    """Returns pre-canned records per detector and logs batch shapes."""
+
+    def __init__(self, records):
+        #: detector -> ScanRecord returned for it.
+        self.records = {r.detector: r for r in records}
+        #: One entry per scan() call: the detector list of that batch.
+        self.batches = []
+
+    def scan(self, requests):
+        self.batches.append([r.detector for r in requests])
+        return [self.records[r.detector] for r in requests]
+
+
+def tiny_request(threshold=2.0):
+    return ScanRequest(checkpoint="ckpt.npz", model="basic_cnn",
+                       dataset="cifar10", anomaly_threshold=threshold)
+
+
+CLEAN_USB = dict(detector="usb", anomalies={0: 0.3, 1: 0.5}, seconds=1.0)
+FLAGGED_USB = dict(detector="usb", anomalies={0: 0.3, 2: 3.1}, flagged=(2,),
+                   seconds=1.0)
+NEAR_USB = dict(detector="usb", anomalies={1: 1.7}, seconds=1.0)
+
+
+# --------------------------------------------------------------------- #
+# Decision tables
+# --------------------------------------------------------------------- #
+class TestFastest:
+    def test_clean_probe_skips_all_escalation(self):
+        scheduler = StubScheduler([make_record(**CLEAN_USB)])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest"))
+        assert scheduler.batches == [["usb"]]
+        assert not result.is_backdoored
+        assert result.cost_breakdown["escalated"] is False
+        assert result.cost_breakdown["escalation_reason"] is None
+        skipped = result.cost_breakdown["skipped"]
+        assert [s["detector"] for s in skipped] == ["nc", "tabor"]
+        assert all("clean with margin" in s["reason"] for s in skipped)
+
+    def test_flagged_probe_escalates_in_one_batch(self):
+        scheduler = StubScheduler([
+            make_record(**FLAGGED_USB),
+            make_record(detector="nc", anomalies={2: 2.8}, flagged=(2,),
+                        seconds=3.0),
+            make_record(detector="tabor", anomalies={2: 1.0}, seconds=5.0),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest"))
+        # The whole confirmation fleet is dispatched as ONE scheduler batch
+        # (parallel across workers) — not detector-by-detector.
+        assert scheduler.batches == [["usb"], ["nc", "tabor"]]
+        assert result.is_backdoored
+        assert result.cost_breakdown["escalated"] is True
+        assert "flagged" in result.cost_breakdown["escalation_reason"]
+        assert result.cost_breakdown["skipped"] == []
+
+    def test_near_threshold_probe_escalates_without_flagging(self):
+        # 1.7 is within the 0.5-wide suspicion band below threshold 2.0.
+        scheduler = StubScheduler([
+            make_record(**NEAR_USB),
+            make_record(detector="nc", anomalies={1: 0.4}, seconds=3.0),
+            make_record(detector="tabor", anomalies={1: 0.2}, seconds=5.0),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest"))
+        assert scheduler.batches == [["usb"], ["nc", "tabor"]]
+        assert not result.is_backdoored
+        assert "within" in result.cost_breakdown["escalation_reason"]
+
+    def test_suspicion_margin_zero_requires_flag(self):
+        scheduler = StubScheduler([make_record(**NEAR_USB)])
+        result = route_scan(
+            scheduler, tiny_request(),
+            RoutingPolicy(strategy="fastest", suspicion_margin=0.0))
+        assert scheduler.batches == [["usb"]]
+        assert result.cost_breakdown["escalated"] is False
+
+
+class TestCheapest:
+    def test_clean_probe_skips_all_escalation(self):
+        scheduler = StubScheduler([make_record(**CLEAN_USB)])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="cheapest"))
+        assert scheduler.batches == [["usb"]]
+        assert [s["detector"]
+                for s in result.cost_breakdown["skipped"]] == ["nc", "tabor"]
+
+    def test_stops_at_first_confirmation(self):
+        scheduler = StubScheduler([
+            make_record(**FLAGGED_USB),
+            make_record(detector="nc", anomalies={2: 2.8}, flagged=(2,),
+                        seconds=3.0),
+            make_record(detector="tabor", anomalies={2: 4.0}, flagged=(2,),
+                        seconds=5.0),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="cheapest"))
+        # Serial escalation: nc confirms, so tabor never runs.
+        assert scheduler.batches == [["usb"], ["nc"]]
+        skipped = result.cost_breakdown["skipped"]
+        assert [s["detector"] for s in skipped] == ["tabor"]
+        assert "confirmed by nc" in skipped[0]["reason"]
+        assert result.is_backdoored
+
+    def test_runs_every_confirmer_when_none_confirms(self):
+        scheduler = StubScheduler([
+            make_record(**NEAR_USB),
+            make_record(detector="nc", anomalies={1: 0.4}, seconds=3.0),
+            make_record(detector="tabor", anomalies={1: 0.2}, seconds=5.0),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="cheapest"))
+        assert scheduler.batches == [["usb"], ["nc"], ["tabor"]]
+        assert result.cost_breakdown["skipped"] == []
+        assert not result.is_backdoored
+
+
+class TestThorough:
+    def test_runs_every_detector_unconditionally(self):
+        scheduler = StubScheduler([
+            make_record(**CLEAN_USB),
+            make_record(detector="nc", anomalies={1: 0.4}, seconds=3.0),
+            make_record(detector="tabor", anomalies={1: 0.2}, seconds=5.0),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="thorough"))
+        assert scheduler.batches == [["usb", "nc", "tabor"]]
+        assert result.cost_breakdown["skipped"] == []
+        assert "unconditionally" in result.cost_breakdown["escalation_reason"]
+
+
+# --------------------------------------------------------------------- #
+# Merged verdict
+# --------------------------------------------------------------------- #
+class TestMergedVerdict:
+    def test_any_flagging_stage_flags_the_triage(self):
+        scheduler = StubScheduler([
+            make_record(**NEAR_USB),
+            make_record(detector="nc", anomalies={1: 2.6, 3: 2.2},
+                        flagged=(1, 3), seconds=3.0),
+            make_record(detector="tabor", anomalies={1: 0.2}, seconds=5.0),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="thorough"))
+        assert result.is_backdoored
+        assert result.flagged_classes == (1, 3)
+        # Suspect = flagged class with the strongest anomaly across stages.
+        assert result.suspect_class == 1
+
+    def test_to_dict_is_json_shaped(self):
+        scheduler = StubScheduler([make_record(**CLEAN_USB)])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest"))
+        payload = result.to_dict()
+        assert payload["verdict"] == "clean"
+        assert payload["strategy"] == "fastest"
+        assert payload["records"][0]["detector"] == "usb"
+        assert payload["cost_breakdown"]["stages"][0]["status"] == "ran"
+
+
+# --------------------------------------------------------------------- #
+# Cost accounting invariants
+# --------------------------------------------------------------------- #
+class TestCostAccounting:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_stage_seconds_sum_to_total(self, strategy):
+        scheduler = StubScheduler([
+            make_record(**FLAGGED_USB),
+            make_record(detector="nc", anomalies={2: 2.8}, flagged=(2,),
+                        seconds=3.25),
+            make_record(detector="tabor", anomalies={2: 4.0}, flagged=(2,),
+                        seconds=5.5),
+        ])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy=strategy))
+        breakdown = result.cost_breakdown
+        assert breakdown["total_seconds"] == pytest.approx(
+            sum(s["seconds"] for s in breakdown["stages"]))
+        ran = {s["detector"] for s in breakdown["stages"]}
+        skipped = {s["detector"] for s in breakdown["skipped"]}
+        assert ran | skipped == {"usb", "nc", "tabor"}
+        assert not ran & skipped
+
+    def test_cache_hits_cost_zero_fresh_seconds(self):
+        scheduler = StubScheduler([
+            make_record(**dict(CLEAN_USB, seconds=7.0, cache_hit=True))])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest"))
+        stage = result.cost_breakdown["stages"][0]
+        assert stage["cache_hit"] is True
+        assert stage["seconds"] == 0.0
+        assert stage["cached_seconds"] == pytest.approx(7.0)
+        assert result.cost_breakdown["total_seconds"] == 0.0
+
+    def test_every_skipped_stage_has_a_reason(self):
+        scheduler = StubScheduler([make_record(**CLEAN_USB)])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="cheapest"))
+        for stage in result.cost_breakdown["skipped"]:
+            assert stage["status"] == "skipped"
+            assert stage["reason"]
+
+    def test_breakdown_stamped_into_record_telemetry(self):
+        scheduler = StubScheduler([make_record(**CLEAN_USB)])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest"))
+        for record in result.records:
+            assert record.telemetry["cost_breakdown"] is result.cost_breakdown
+
+
+# --------------------------------------------------------------------- #
+# Policy validation + helpers
+# --------------------------------------------------------------------- #
+class TestPolicyAndHelpers:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="Unknown strategy"):
+            RoutingPolicy(strategy="warp")
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError, match="Unknown detector"):
+            RoutingPolicy(detectors=("usb", "magic"))
+
+    def test_duplicate_detectors_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            RoutingPolicy(detectors=("usb", "usb"))
+
+    def test_empty_detectors_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RoutingPolicy(detectors=())
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError, match="suspicion_margin"):
+            RoutingPolicy(suspicion_margin=-0.1)
+
+    def test_detectors_normalized_to_lowercase(self):
+        policy = RoutingPolicy(detectors=("USB", "NC"))
+        assert policy.detectors == ("usb", "nc")
+
+    def test_probe_only_policy_never_escalates(self):
+        scheduler = StubScheduler([make_record(**FLAGGED_USB)])
+        result = route_scan(scheduler, tiny_request(),
+                            RoutingPolicy(strategy="fastest",
+                                          detectors=("usb",)))
+        assert scheduler.batches == [["usb"]]
+        assert result.cost_breakdown["escalated"] is False
+        assert result.is_backdoored
+
+    def test_record_max_anomaly_covers_pair_indices(self):
+        record = make_record(anomalies={0: 1.0},
+                             pair_anomalies={"1->2": 3.5})
+        assert record_max_anomaly(record) == pytest.approx(3.5)
+        assert record_max_anomaly(make_record()) == 0.0
+
+    def test_escalation_reason_band_edges(self):
+        clean = make_record(anomalies={0: 1.49})
+        near = make_record(anomalies={0: 1.5})
+        flagged = make_record(anomalies={0: 3.0}, flagged=(0,))
+        assert escalation_reason(clean, 2.0, 0.5) is None
+        assert "within" in escalation_reason(near, 2.0, 0.5)
+        assert "flagged" in escalation_reason(flagged, 2.0, 0.5)
+
+    def test_default_policy_is_fastest_usb_first(self):
+        policy = RoutingPolicy()
+        assert policy.strategy == "fastest"
+        assert policy.detectors[0] == "usb"
+
+    def test_triage_result_default_fields(self):
+        result = TriageResult(strategy="fastest", is_backdoored=False,
+                              flagged_classes=(), suspect_class=None)
+        assert result.records == []
+        assert result.to_dict()["flagged_classes"] == []
