@@ -7,7 +7,7 @@ TIER1_TIMEOUT ?= 120
 # Budget for the scenario-matrix smoke run (seconds).
 SCENARIOS_TIMEOUT ?= 300
 
-.PHONY: test tier1 lint lint-baseline bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke api-smoke
+.PHONY: test tier1 lint lint-baseline bench bench-detection examples scenarios docs docs-check daemon-smoke repair-smoke mega-smoke obs-smoke api-smoke fleet-smoke
 
 ## Tier-1 unit suite (tests/ only; benchmarks/ are excluded via pytest.ini).
 test: tier1
@@ -73,6 +73,13 @@ obs-smoke:
 ## cost accounting, trace stitching, and that /metrics parses.
 api-smoke:
 	$(PYTHON) tools/api_smoke.py
+
+## Fleet smoke: three real `python -m repro worker` processes + a
+## submitter against temp stores — inline-identical verdicts with zero
+## lost jobs, kill-a-worker recovery via lease-expiry requeue, and an
+## HTTP fleet scan whose stitched trace spans >= 2 worker pids.
+fleet-smoke:
+	$(PYTHON) tools/fleet_smoke.py
 
 ## Mega-batch parity smoke (fast; tiny model, 4 classes): flagged classes
 ## identical across sequential/batched/mega, exact match without cascade.

@@ -43,7 +43,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -593,17 +593,7 @@ class TriggerReverseEngineeringDetector:
         groups become tasks of *one* work-item pool sharing a single MAD
         selection group, so the cascade sees the full pair grid at once.
         """
-        pair_list: List[ScanPair] = []
-        groups: Dict[Optional[int], List[int]] = {}
-        for source, target in pairs:
-            pair = (None if source is None else int(source), int(target))
-            if pair in pair_list:
-                continue
-            pair_list.append(pair)
-            groups.setdefault(pair[0], []).append(pair[1])
-        if not pair_list:
-            raise ValueError("Pair-mode detection needs at least one "
-                             "(source, target) pair.")
+        pair_list, groups = _normalize_pairs(pairs)
 
         start = time.perf_counter()
         used_batched = False
@@ -672,35 +662,75 @@ class TriggerReverseEngineeringDetector:
             for trigger in triggers:
                 trigger.seconds = per_pair
 
-        with _tspan("mad.decision", detector=self.name, cells=len(triggers),
-                    pair_mode=True):
-            norms = [t.l1_norm for t in triggers]
-            position_indices = mad_anomaly_indices(norms)
-        pair_anomaly = {pair_list[pos]: value
-                        for pos, value in position_indices.items()}
-        flagged_pairs = sorted(
-            (pair for pair, value in pair_anomaly.items()
-             if value > self.anomaly_threshold),
-            key=lambda pair: (pair[1], -1 if pair[0] is None else pair[0]))
-        anomaly_indices: Dict[int, float] = {}
-        for (source, target), value in pair_anomaly.items():
-            anomaly_indices[target] = max(anomaly_indices.get(target, 0.0),
-                                          value)
-        flagged_classes = sorted({target for _, target in flagged_pairs})
-        return DetectionResult(
-            detector=self.name,
-            triggers=triggers,
-            anomaly_indices=anomaly_indices,
-            flagged_classes=flagged_classes,
-            is_backdoored=bool(flagged_pairs),
-            seconds_total=total_seconds,
-            metadata={"batched": 1.0 if (used_batched or used_mega) else 0.0,
-                      "mega": 1.0 if used_mega else 0.0,
-                      "pair_mode": 1.0,
-                      "pairs_scanned": float(len(pair_list))},
-            pair_anomaly_indices=pair_anomaly,
-            flagged_pairs=flagged_pairs,
-        )
+        return _pair_result(
+            self.name, pair_list, triggers, self.anomaly_threshold,
+            total_seconds,
+            {"batched": 1.0 if (used_batched or used_mega) else 0.0,
+             "mega": 1.0 if used_mega else 0.0,
+             "pair_mode": 1.0,
+             "pairs_scanned": float(len(pair_list))})
+
+
+def _normalize_pairs(pairs: Sequence[ScanPair]
+                     ) -> Tuple[List[ScanPair], Dict[Optional[int], List[int]]]:
+    """Dedupe a pair list (order-preserving) and group targets by source.
+
+    Returns:
+        ``(pair_list, groups)`` where ``groups`` maps each source class
+        (``None`` = unconditional) to its target classes in first-seen
+        order.
+
+    Raises:
+        ValueError: ``pairs`` is empty.
+    """
+    pair_list: List[ScanPair] = []
+    groups: Dict[Optional[int], List[int]] = {}
+    for source, target in pairs:
+        pair = (None if source is None else int(source), int(target))
+        if pair in pair_list:
+            continue
+        pair_list.append(pair)
+        groups.setdefault(pair[0], []).append(pair[1])
+    if not pair_list:
+        raise ValueError("Pair-mode detection needs at least one "
+                         "(source, target) pair.")
+    return pair_list, groups
+
+
+def _pair_result(detector_name: str, pair_list: List[ScanPair],
+                 triggers: List[ReversedTrigger], threshold: float,
+                 seconds_total: float,
+                 metadata: Dict[str, float]) -> DetectionResult:
+    """Assemble the pair-mode verdict from per-pair triggers.
+
+    The MAD outlier test runs over the pair norms; per-class anomaly
+    indices aggregate each target's worst pair so classic consumers keep
+    working on pair-mode results.
+    """
+    with _tspan("mad.decision", detector=detector_name, cells=len(triggers),
+                pair_mode=True):
+        norms = [t.l1_norm for t in triggers]
+        position_indices = mad_anomaly_indices(norms)
+    pair_anomaly = {pair_list[pos]: value
+                    for pos, value in position_indices.items()}
+    flagged_pairs = sorted(
+        (pair for pair, value in pair_anomaly.items() if value > threshold),
+        key=lambda pair: (pair[1], -1 if pair[0] is None else pair[0]))
+    anomaly_indices: Dict[int, float] = {}
+    for (source, target), value in pair_anomaly.items():
+        anomaly_indices[target] = max(anomaly_indices.get(target, 0.0), value)
+    flagged_classes = sorted({target for _, target in flagged_pairs})
+    return DetectionResult(
+        detector=detector_name,
+        triggers=triggers,
+        anomaly_indices=anomaly_indices,
+        flagged_classes=flagged_classes,
+        is_backdoored=bool(flagged_pairs),
+        seconds_total=seconds_total,
+        metadata=metadata,
+        pair_anomaly_indices=pair_anomaly,
+        flagged_pairs=flagged_pairs,
+    )
 
 
 def _classic_result(detector_name: str, class_list: List[int],
@@ -727,78 +757,121 @@ def _classic_result(detector_name: str, class_list: List[int],
     )
 
 
-def detect_mega_fleet(jobs: Sequence[Tuple["TriggerReverseEngineeringDetector",
-                                           Module,
-                                           Optional[Sequence[int]]]],
+def detect_mega_fleet(jobs: Sequence[Sequence[Any]],
                       cascade: Optional[MegaCascadeConfig] = None,
                       pool: Optional[MegaPoolConfig] = None,
                       cache: Optional[CleanActivationCache] = None,
                       stats: Optional[dict] = None) -> List[DetectionResult]:
-    """Run many classic scans through one shared work-item pool.
+    """Run many scans — classic and pair-mode — through one work-item pool.
 
     ``jobs`` is a sequence of ``(detector, model, classes)`` triples
-    (``classes=None`` scans every class of the detector's clean pool).  All
-    cells across all jobs execute in a single
+    (``classes=None`` scans every class of the detector's clean pool) or
+    ``(detector, model, classes, pairs)`` quadruples; a non-``None``
+    ``pairs`` makes that job a scenario-aware pair scan: every ``(source,
+    target)`` cell is inverted with the clean pool restricted to its source
+    class, and the job's verdict carries per-pair anomaly indices and
+    flagged pairs exactly like ``detect(pairs=...)``.
+
+    All cells across all jobs execute in a single
     :func:`~repro.core.mega.run_mega_inversion` call, so a multi-model or
-    multi-detector scan interleaves its model forwards in one pool instead of
-    draining job by job; each job keeps its own MAD selection group and
-    verdict.  Every detector must provide a mega path
-    (:meth:`TriggerReverseEngineeringDetector._mega_inits`); pair-mode scans
-    are not fleet-poolable and should go through ``detect(pairs=...)``
-    per job instead.
+    multi-detector scan — pair grids included — interleaves its model
+    forwards in one pool instead of draining job by job; each job keeps its
+    own MAD selection group and verdict.  Every detector must provide a
+    mega path (:meth:`TriggerReverseEngineeringDetector._mega_inits`).
 
     Wall clock is attributed to jobs proportionally to their cell counts
     (the pool interleaves jobs, so per-job timing is not separable).
     """
-    job_list = list(jobs)
+    job_list = [tuple(job) for job in jobs]
     if not job_list:
         return []
     restore: List[Tuple[Module, List[bool]]] = []
     start = time.perf_counter()
     try:
         tasks: List[MegaTask] = []
-        class_lists: List[List[int]] = []
-        for index, (detector, model, classes) in enumerate(job_list):
+        #: Per job: list of (task index, source, targets) task slots.
+        job_slots: List[List[Tuple[int, Optional[int], List[int]]]] = []
+        #: Per job: its cells — a class list, or a pair list (pair mode).
+        job_cells: List[List[Any]] = []
+        job_pair_mode: List[bool] = []
+        for index, job in enumerate(job_list):
+            detector, model, classes = job[0], job[1], job[2]
+            pairs = job[3] if len(job) > 3 else None
             model.eval()
             restore.append((model, [p.requires_grad
                                     for p in model.parameters()]))
             model.requires_grad_(False)
-            class_list = list(classes) if classes is not None else list(
-                range(detector.clean_data.num_classes))
-            task = detector._mega_task(model, class_list,
-                                       selection_group=f"job{index}")
-            if task is None:
-                raise ValueError(
-                    f"{detector.name} provides no mega inversion path; "
-                    "detect_mega_fleet needs _mega_inits on every job.")
-            tasks.append(task)
-            class_lists.append(class_list)
+            slots: List[Tuple[int, Optional[int], List[int]]] = []
+            if pairs is None:
+                class_list = list(classes) if classes is not None else list(
+                    range(detector.clean_data.num_classes))
+                groups: Dict[Optional[int], List[int]] = {None: class_list}
+                cells: List[Any] = class_list
+                job_pair_mode.append(False)
+            else:
+                pair_list, groups = _normalize_pairs(pairs)
+                cells = pair_list
+                job_pair_mode.append(True)
+            for source, targets in groups.items():
+                if pairs is None:
+                    task = detector._mega_task(model, targets,
+                                               selection_group=f"job{index}")
+                else:
+                    with detector._restricted_clean(source):
+                        task = detector._mega_task(
+                            model, targets, selection_group=f"job{index}")
+                if task is None:
+                    raise ValueError(
+                        f"{detector.name} provides no mega inversion path; "
+                        "detect_mega_fleet needs _mega_inits on every job.")
+                slots.append((len(tasks), source, targets))
+                tasks.append(task)
+            job_slots.append(slots)
+            job_cells.append(cells)
 
         run_stats: dict = {}
         all_results = run_mega_inversion(tasks, cascade=cascade, pool=pool,
                                          cache=cache, stats=run_stats)
         total_seconds = time.perf_counter() - start
-        total_cells = sum(len(cl) for cl in class_lists) or 1
+        total_cells = sum(len(cells) for cells in job_cells) or 1
 
         detections: List[DetectionResult] = []
-        for (detector, _, _), class_list, results in zip(job_list,
-                                                         class_lists,
-                                                         all_results):
-            job_seconds = total_seconds * len(class_list) / total_cells
-            per_class = job_seconds / max(len(class_list), 1)
-            triggers = [
-                ReversedTrigger(target_class=int(target),
-                                pattern=result.pattern, mask=result.mask,
-                                success_rate=result.success_rate,
-                                seconds=per_class,
-                                iterations=result.iterations)
-                for target, result in zip(class_list, results)
-            ]
+        for job, slots, cells, pair_mode in zip(job_list, job_slots,
+                                                job_cells, job_pair_mode):
+            detector = job[0]
+            job_seconds = total_seconds * len(cells) / total_cells
+            per_cell = job_seconds / max(len(cells), 1)
             detector.last_mega_stats = dict(run_stats)
-            detections.append(_classic_result(
-                detector.name, class_list, triggers,
-                detector.anomaly_threshold, job_seconds,
-                {"batched": 1.0, "mega": 1.0, "fleet": 1.0}))
+            if not pair_mode:
+                task_index, _, class_list = slots[0]
+                triggers = [
+                    ReversedTrigger(target_class=int(target),
+                                    pattern=result.pattern, mask=result.mask,
+                                    success_rate=result.success_rate,
+                                    seconds=per_cell,
+                                    iterations=result.iterations)
+                    for target, result in zip(class_list,
+                                              all_results[task_index])
+                ]
+                detections.append(_classic_result(
+                    detector.name, class_list, triggers,
+                    detector.anomaly_threshold, job_seconds,
+                    {"batched": 1.0, "mega": 1.0, "fleet": 1.0}))
+                continue
+            by_pair: Dict[ScanPair, ReversedTrigger] = {}
+            for task_index, source, targets in slots:
+                for target, result in zip(targets, all_results[task_index]):
+                    by_pair[(source, target)] = ReversedTrigger(
+                        target_class=int(target), pattern=result.pattern,
+                        mask=result.mask, success_rate=result.success_rate,
+                        seconds=per_cell, iterations=result.iterations,
+                        source_class=source)
+            triggers = [by_pair[pair] for pair in cells]
+            detections.append(_pair_result(
+                detector.name, cells, triggers, detector.anomaly_threshold,
+                job_seconds,
+                {"batched": 1.0, "mega": 1.0, "fleet": 1.0, "pair_mode": 1.0,
+                 "pairs_scanned": float(len(cells))}))
         if stats is not None:
             stats.update(run_stats)
         return detections

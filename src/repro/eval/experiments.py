@@ -691,8 +691,11 @@ def run_experiment(config: ExperimentConfig, seed: int = 0,
                          checkpoint_dir=checkpoint_dir)
             for case_index, case in enumerate(config.cases)
             for model_index in range(config.scale.models_per_case)]
-    _LOG.info("Dispatching %s: %d job(s) across %d worker(s).", config.name,
-              len(jobs), max(getattr(scheduler, "workers", 1), 1))
+    backend = getattr(scheduler, "backend", None)
+    _LOG.info("Dispatching %s: %d job(s) via the %s backend (%d worker(s)).",
+              config.name, len(jobs),
+              getattr(backend, "name", "inline"),
+              max(getattr(scheduler, "workers", 1), 1))
     outcomes: List[CaseModelOutcome] = scheduler.run_jobs(
         run_case_model_job, jobs, timeout=job_timeout, retries=job_retries)
 

@@ -349,8 +349,10 @@ def build_service_registry(scan_rows: Iterable[Mapping[str, Any]],
             ``telemetry`` block feed histograms, phase counters, and pool
             stats.
         stats: A daemon ``stats.json`` payload.  Its ``metrics`` snapshot
-            (``ServiceMetrics.snapshot()``) and ``queue_depth`` are
-            exported when present.
+            (``ServiceMetrics.snapshot()``), ``queue_depth``, and ``fleet``
+            block (:func:`repro.service.fleet.fleet_snapshot`: live worker
+            count, lease counters, per-tenant queue depth) are exported
+            when present.
 
     Returns:
         A registry exposing per-detector scan-latency histograms,
@@ -464,6 +466,33 @@ def build_service_registry(scan_rows: Iterable[Mapping[str, Any]],
         registry.gauge("repro_queue_depth",
                        "Jobs waiting in the daemon queue"
                        ).set(float(stats["queue_depth"]))
+    fleet = dict((stats or {}).get("fleet") or {})
+    if fleet:
+        registry.gauge("repro_fleet_workers_live",
+                       "Fleet workers with a live heartbeat"
+                       ).set(float(fleet.get("workers_live", 0)))
+        registry.gauge("repro_fleet_leases_held",
+                       "Fleet jobs currently leased to a worker"
+                       ).set(float(fleet.get("leases_held", 0)))
+        registry.counter("repro_fleet_leases_expired_total",
+                         "Fleet leases that expired without completion"
+                         ).inc(float(fleet.get("leases_expired_total", 0)))
+        registry.counter("repro_fleet_leases_requeued_total",
+                         "Expired fleet leases requeued for another worker"
+                         ).inc(float(fleet.get("leases_requeued_total", 0)))
+        registry.counter("repro_fleet_jobs_done_total",
+                         "Fleet jobs completed successfully"
+                         ).inc(float(fleet.get("jobs_done", 0)))
+        registry.counter("repro_fleet_jobs_failed_total",
+                         "Fleet jobs that spent their retry budget"
+                         ).inc(float(fleet.get("jobs_failed", 0)))
+        # A drained queue still exports the family (zero for the default
+        # tenant) so dashboards never see the series vanish.
+        depths = dict(fleet.get("queue_depth") or {}) or {"default": 0}
+        for tenant, depth in sorted(depths.items()):
+            registry.gauge("repro_fleet_queue_depth",
+                           "Fleet jobs queued or leased, by tenant",
+                           labels={"tenant": str(tenant)}).set(float(depth))
     return registry
 
 

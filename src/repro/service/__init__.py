@@ -12,9 +12,18 @@ The service layer turns the in-process detectors into throughput:
   :class:`ResultStore` and the sharded, concurrent-writer
   :class:`ShardedResultStore` (pick via :func:`open_store`), both making
   repeat scans cache hits and both supporting ``compact`` / ``merge``;
+* :mod:`repro.service.planning` — the backend-independent planning core:
+  the prioritized :class:`JobQueue`, :class:`ServiceMetrics`, and the
+  shared cache-lookup planner every execution path reuses;
+* :mod:`repro.service.backends` — :class:`ExecutionBackend` and its
+  ``inline`` / ``pool`` implementations (pick via :func:`create_backend`);
+* :mod:`repro.service.fleet` — the lease-based distributed worker fleet:
+  a store-adjacent shared job queue (:class:`FleetQueue`), the
+  ``python -m repro worker`` process (:class:`FleetWorker`), and the
+  ``fleet`` execution backend (:class:`FleetBackend`);
 * :mod:`repro.service.scheduler` — :class:`ScanScheduler`, which resolves
-  cache keys in the parent and fans misses across a process pool through a
-  prioritized :class:`JobQueue` with per-job timeouts and bounded retries,
+  cache keys in the parent and hands misses to its execution backend
+  (process pool by default) with per-job timeouts and bounded retries,
   accumulating :class:`ServiceMetrics`;
 * :mod:`repro.service.repair` — cacheable detect -> repair -> verify jobs
   (:class:`RepairRequest` / :func:`run_repairs`) wrapping
@@ -37,7 +46,22 @@ The service layer turns the in-process detectors into throughput:
 
 from .api import ApiJob, ApiServer
 
-from .daemon import CheckpointWatcher, DaemonConfig, WatchDaemon
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InlineBackend,
+    PoolBackend,
+    create_backend,
+)
+from .daemon import ChildBackend, CheckpointWatcher, DaemonConfig, WatchDaemon
+from .fleet import (
+    FleetBackend,
+    FleetQueue,
+    FleetWorker,
+    LeaseLostError,
+    fleet_snapshot,
+    run_worker,
+)
 from .fingerprint import (
     digest_config,
     fingerprint_checkpoint,
@@ -74,9 +98,22 @@ from .scheduler import (
     execute_scan,
     resolve_request,
 )
-from .store import ResultStore, ShardedResultStore, open_store
+from .store import ResultStore, ShardedResultStore, open_store, stream_records
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InlineBackend",
+    "PoolBackend",
+    "ChildBackend",
+    "FleetBackend",
+    "FleetQueue",
+    "FleetWorker",
+    "LeaseLostError",
+    "create_backend",
+    "fleet_snapshot",
+    "run_worker",
+    "stream_records",
     "digest_config",
     "fingerprint_checkpoint",
     "fingerprint_model",

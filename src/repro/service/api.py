@@ -53,6 +53,7 @@ from uuid import uuid4
 from ..obs.metrics import MetricsRegistry, build_service_registry
 from ..obs.trace import TRACER, new_trace_id, read_spans, write_spans
 from ..utils.logging import get_logger
+from .fleet import fleet_snapshot
 from .records import ScanRequest
 from .repair import RepairRequest, run_repairs
 from .routing import STRATEGIES, RoutingPolicy, route_scan
@@ -174,16 +175,22 @@ class ApiServer:
         job_retries: Times a failed job is re-queued before ``failed``.
         telemetry: Tracing/profiling toggle (``None`` follows
             ``REPRO_TELEMETRY``).
+        backend: Execution backend spec (``inline`` / ``pool`` / ``fleet``)
+            forwarded to the scheduler; ``None`` keeps the historical
+            worker-count heuristic.  With ``fleet``, the dispatcher labels
+            each batch with the submitting job's tenant so the shared queue
+            tracks per-tenant depth.
     """
 
     def __init__(self, store_path: str, host: str = "127.0.0.1",
                  port: int = 0, workers: int = 0, job_retries: int = 0,
-                 telemetry: Optional[bool] = None) -> None:
+                 telemetry: Optional[bool] = None,
+                 backend: Optional[str] = None) -> None:
         self.store_path = str(store_path)
         self.span_sink = sidecar_path(self.store_path, SPANS_NAME)
         self.scheduler = ScanScheduler(
             store=open_store(self.store_path), workers=workers,
-            telemetry=telemetry, span_sink=self.span_sink)
+            telemetry=telemetry, span_sink=self.span_sink, backend=backend)
         self.job_retries = int(job_retries)
         self.queue = JobQueue(thread_safe=True)
         self._jobs: Dict[str, ApiJob] = {}
@@ -335,6 +342,11 @@ class ApiServer:
             root = TRACER.begin("api.job", trace_id=job.trace_id,
                                 kind=job.kind, job_id=job.job_id,
                                 tenant=job.tenant)
+        # The fleet backend tags submitted jobs with a tenant so the shared
+        # queue can report per-tenant depth; only the (single) dispatcher
+        # thread touches the scheduler, so this mutation cannot race.
+        if hasattr(self.scheduler.backend, "tenant"):
+            self.scheduler.backend.tenant = job.tenant
         try:
             with TRACER.context_of(root):
                 if job.kind == "repair":
@@ -411,7 +423,11 @@ class ApiServer:
         rows = [record.to_dict()
                 for record in open_store(self.store_path).scan_records()]
         stats = {"metrics": self.scheduler.metrics.snapshot(),
-                 "queue_depth": len(self.queue)}
+                 "queue_depth": len(self.queue),
+                 "backend": self.scheduler.backend.name}
+        fleet = fleet_snapshot(self.store_path)
+        if fleet is not None:
+            stats["fleet"] = fleet
         service = build_service_registry(rows, stats).render()
         with self._registry_lock:
             self._registry.gauge(

@@ -1,0 +1,264 @@
+"""Execution backends: where a planned batch of jobs actually runs.
+
+The planning core (:mod:`repro.service.planning`) decides *what* to run;
+an :class:`ExecutionBackend` decides *where*.  Three implementations ship:
+
+* :class:`InlineBackend` — serial, in-process: jobs run in queue order in
+  the caller, bit-identical to the pool path minus the process hop (the
+  test suite's default, and the fallback for single-job batches);
+* :class:`PoolBackend` — a ``ProcessPoolExecutor`` per batch with per-job
+  wall-clock timeouts, bounded retries, and stuck-worker exclusion (a
+  timed-out running task cannot be preempted, so its worker is excluded
+  from further dispatch rather than queued behind);
+* :class:`~repro.service.fleet.FleetBackend` — independent worker
+  processes pulling from a store-adjacent shared queue with lease-based
+  ownership (imported lazily via :func:`create_backend` so the scheduler
+  never pays for it).
+
+All three satisfy the same contract — ``run(fn, payloads)`` returns
+``[fn(p) for p in payloads]`` in order, retrying failed jobs up to the
+budget and raising the last error once it is spent — so
+:class:`~repro.service.scheduler.ScanScheduler`, the repair driver, the
+watch daemon, and the HTTP API dispatch through a backend without caring
+which one the operator selected (``--backend inline|pool|fleet``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..utils.logging import get_logger
+from .planning import JobQueue, JobTimeoutError, QueuedJob, ServiceMetrics
+
+__all__ = ["ExecutionBackend", "InlineBackend", "PoolBackend",
+           "create_backend", "BACKEND_NAMES"]
+
+_LOG = get_logger("repro.service.backends")
+
+#: Backend specs accepted by :func:`create_backend` (and the CLI flag).
+BACKEND_NAMES = ("inline", "pool", "fleet")
+
+
+class ExecutionBackend:
+    """Contract every execution backend implements.
+
+    A backend turns a sequence of picklable payloads and a module-level
+    function into results, preserving order, with bounded retries.  It owns
+    no resolve/cache logic — callers hand it already-planned work.
+    """
+
+    #: Short identifier rendered in logs, metrics, and ``repro report``.
+    name = "abstract"
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any],
+            timeout: Optional[float] = None, retries: int = 0,
+            metrics: Optional[ServiceMetrics] = None) -> List[Any]:
+        """Apply ``fn`` to every payload, preserving order.
+
+        Args:
+            fn: Module-level callable (must pickle for process-based
+                backends).
+            payloads: Job inputs; results come back in the same order.
+            timeout: Per-job wall-clock budget in seconds (``None``
+                disables it; inline execution cannot be preempted, so only
+                process-based backends enforce it).
+            retries: Retry budget per job — a failed job is re-queued up to
+                this many times before its last error fails the batch.
+            metrics: Optional counters to update (``retries`` /
+                ``failures``).
+
+        Returns:
+            ``[fn(p) for p in payloads]``.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def __repr__(self) -> str:
+        """``<BackendClass 'name'>`` for logs and debugging."""
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _run_serial(fn: Callable[[Any], Any], queue: JobQueue,
+                results: List[Any], retries: int,
+                metrics: ServiceMetrics) -> None:
+    """Drain ``queue`` inline: run each job in the caller, retrying in place."""
+    while queue:
+        job = queue.pop()
+        index, payload = job.payload
+        try:
+            results[index] = fn(payload)
+        except Exception:
+            if job.attempts < retries:
+                metrics.retries += 1
+                queue.requeue(job)
+                continue
+            metrics.failures += 1
+            raise
+
+
+class InlineBackend(ExecutionBackend):
+    """Serial in-process execution: the deterministic fallback path.
+
+    Jobs run in queue order inside the calling process — bit-identical to
+    the pool path (pool workers fork with the same seeds), just without the
+    process hop, which also means a per-job ``timeout`` cannot be enforced.
+    """
+
+    name = "inline"
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any],
+            timeout: Optional[float] = None, retries: int = 0,
+            metrics: Optional[ServiceMetrics] = None) -> List[Any]:
+        """Run every payload inline, in queue order (see the base contract)."""
+        items = list(payloads)
+        metrics = metrics if metrics is not None else ServiceMetrics()
+        queue = JobQueue()
+        for index, payload in enumerate(items):
+            queue.push((index, payload))
+        results: List[Any] = [None] * len(items)
+        _run_serial(fn, queue, results, int(retries), metrics)
+        return results
+
+
+class PoolBackend(ExecutionBackend):
+    """Process-pool execution with timeouts, retries, and stuck exclusion.
+
+    Args:
+        workers: Pool size ceiling; a batch never spawns more workers than
+            it has jobs.  Batches of one job (or ``workers <= 1``) fall
+            back to inline execution — the process hop buys nothing there.
+
+    A fresh ``ProcessPoolExecutor`` is created per batch, so :meth:`close`
+    has nothing persistent to release.  A job that exceeds ``timeout`` is
+    marked failed/retryable, but a *running* task cannot be preempted: its
+    worker is counted stuck, excluded from further dispatch, and only
+    reclaimed at pool shutdown (the watch daemon uses killable child
+    processes instead; see :class:`repro.service.daemon.ChildBackend`).
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = int(workers)
+        self.name = "pool"
+
+    def run(self, fn: Callable[[Any], Any], payloads: Sequence[Any],
+            timeout: Optional[float] = None, retries: int = 0,
+            metrics: Optional[ServiceMetrics] = None) -> List[Any]:
+        """Run the batch across a fresh process pool (see the base contract)."""
+        items = list(payloads)
+        retries = int(retries)
+        metrics = metrics if metrics is not None else ServiceMetrics()
+        queue = JobQueue()
+        for index, payload in enumerate(items):
+            queue.push((index, payload))
+        results: List[Any] = [None] * len(items)
+        if self.workers <= 1 or len(items) <= 1:
+            _run_serial(fn, queue, results, retries, metrics)
+            return results
+
+        max_workers = min(self.workers, len(items))
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        running: Dict[Any, Tuple[QueuedJob, float]] = {}
+        #: Workers presumed wedged on a timed-out task (a pool cannot preempt
+        #: a running job).  They shrink the dispatch capacity so queued jobs
+        #: are never submitted behind a stuck worker — where their timeout
+        #: clock would run without the job ever starting.
+        stuck = 0
+        try:
+
+            def _dispatch() -> None:
+                while queue and len(running) < max_workers - stuck:
+                    job = queue.pop()
+                    future = pool.submit(fn, job.payload[1])
+                    running[future] = (job, time.monotonic())
+
+            _dispatch()
+            while running:
+                expiries = [started + timeout for _, started in running.values()
+                            ] if timeout is not None else []
+                wait_budget = (max(0.0, min(expiries) - time.monotonic())
+                               if expiries else None)
+                done, _ = wait(set(running), timeout=wait_budget,
+                               return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                expired = [future for future, (_, started) in running.items()
+                           if timeout is not None and future not in done
+                           and now - started >= timeout]
+                for future in list(done) + expired:
+                    job, _started = running.pop(future)
+                    error: Optional[BaseException] = None
+                    if future in done:
+                        error = future.exception()
+                        if error is None:
+                            results[job.payload[0]] = future.result()
+                            continue
+                    else:
+                        if not future.cancel():
+                            # Already running: that worker is occupied until
+                            # the abandoned task finishes, if it ever does.
+                            stuck += 1
+                        error = JobTimeoutError(
+                            f"job {job.payload[0]} exceeded {timeout:.1f}s "
+                            f"(attempt {job.attempts + 1}).")
+                    if job.attempts < retries:
+                        _LOG.warning("Retrying job %d after %s", job.payload[0],
+                                     error)
+                        metrics.retries += 1
+                        queue.requeue(job)
+                    else:
+                        metrics.failures += 1
+                        raise error
+                _dispatch()
+            if queue:
+                # Every worker is wedged on an abandoned task; the queued
+                # remainder can never start.
+                metrics.failures += 1
+                raise JobTimeoutError(
+                    f"{len(queue)} queued job(s) starved: all {max_workers} "
+                    "worker(s) are stuck on timed-out jobs.")
+        finally:
+            # With wedged workers a wait=True shutdown would block forever;
+            # abandon the pool instead (its processes die with the parent).
+            pool.shutdown(wait=stuck == 0, cancel_futures=stuck > 0)
+        return results
+
+
+def create_backend(spec: str, workers: int = 0,
+                   store_path: Optional[str] = None,
+                   **fleet_options: Any) -> ExecutionBackend:
+    """Build the backend a ``--backend`` spec names.
+
+    Args:
+        spec: One of :data:`BACKEND_NAMES` (``inline`` / ``pool`` /
+            ``fleet``).
+        workers: Pool size for the ``pool`` backend (ignored otherwise).
+        store_path: Store path the ``fleet`` backend coordinates through
+            (required for ``fleet``: its job/lease tables live next to the
+            store so every worker sharing the filesystem sees them).
+        **fleet_options: Forwarded to
+            :class:`~repro.service.fleet.FleetBackend` (``lease_seconds``,
+            ``poll_interval``, ``tenant``, ...).
+
+    Returns:
+        A ready :class:`ExecutionBackend`.
+
+    Raises:
+        ValueError: Unknown spec, or ``fleet`` without a ``store_path``.
+    """
+    kind = str(spec).lower()
+    if kind == "inline":
+        return InlineBackend()
+    if kind == "pool":
+        return PoolBackend(workers=workers)
+    if kind == "fleet":
+        if not store_path:
+            raise ValueError(
+                "--backend fleet needs a store path: the fleet queue lives "
+                "next to the store so workers can find it.")
+        from .fleet import FleetBackend
+        return FleetBackend(store_path, **fleet_options)
+    raise ValueError(f"Unknown backend '{spec}'. "
+                     f"Available: {', '.join(BACKEND_NAMES)}")

@@ -20,6 +20,8 @@ Subcommands::
     python -m repro metrics --store scans/          # Prometheus exposition
     python -m repro serve scans/ --port 8080        # HTTP scan/repair API
     python -m repro scan checkpoint.npz --strategy fastest  # routed triage
+    python -m repro worker scans/                   # one fleet worker
+    python -m repro grid ... --backend fleet        # dispatch to the fleet
 
 ``scan`` runs one detector on one saved model; ``grid`` fans a
 checkpoint x detector matrix across the worker pool; ``repair`` runs the
@@ -36,6 +38,13 @@ store in place; ``trace`` renders the span trees recorded in
 exposition the daemon writes to ``metrics.prom`` each cycle; ``serve``
 runs the long-lived HTTP front end (:mod:`repro.service.api`) over the
 same store.
+
+Every scan-running command accepts ``--backend inline|pool|fleet``: where
+a planned batch executes (:mod:`repro.service.backends`).  ``fleet``
+submits jobs onto a store-adjacent shared queue that any number of
+``python -m repro worker <store>`` processes drain under lease-based
+ownership (:mod:`repro.service.fleet`) — verdicts are identical across
+backends because resolve/digest/cache logic is backend-independent.
 
 ``scan --strategy fastest|cheapest|thorough`` replaces the single
 ``--detector`` run with the strategy-routed escalation plan
@@ -75,13 +84,15 @@ from ..obs.render import (format_trace_summaries, render_trace,
                           summarize_traces)
 from ..obs.trace import read_spans
 from ..utils.logging import set_log_level
+from .backends import BACKEND_NAMES
 from .daemon import DaemonConfig, WatchDaemon, default_stats_path
+from .fleet import fleet_snapshot, run_worker
 from .locks import atomic_write
 from .records import KNOWN_DETECTORS, RepairRecord, ScanRecord, ScanRequest
 from .repair import RepairRequest, run_repairs
 from .routing import STRATEGIES, RoutingPolicy, route_scan
 from .scheduler import ScanScheduler
-from .store import SPANS_NAME, open_store, sidecar_path
+from .store import SPANS_NAME, open_store, sidecar_path, stream_records
 
 #: Repair strategies the CLI offers (mirrors repro.mitigation.STRATEGIES
 #: without importing the mitigation package at CLI-import time).
@@ -163,6 +174,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="Disable the cache: always recompute, never persist.")
     parser.add_argument("--workers", type=int, default=0,
                         help="Worker processes; 0/1 runs scans inline (serial).")
+    parser.add_argument("--backend", default=None, choices=list(BACKEND_NAMES),
+                        help="Execution backend: inline (serial), pool "
+                             "(process pool sized by --workers), or fleet "
+                             "(store-adjacent shared queue drained by "
+                             "'python -m repro worker' processes). Default: "
+                             "pool when --workers > 1, else inline.")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="Emit machine-readable JSON instead of tables.")
     parser.add_argument("--no-telemetry", action="store_true",
@@ -258,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--no-telemetry", action="store_true",
                        help="Disable trace spans, per-phase profiling, and "
                             "the metrics.prom export.")
+    watch.add_argument("--backend", default=None,
+                       choices=["child"] + list(BACKEND_NAMES),
+                       help="Job execution backend: child (killable child "
+                            "process per scan, the default), fleet (hand "
+                            "jobs to 'python -m repro worker' processes), "
+                            "or inline/pool.")
     _add_scan_options(watch)
     watch.add_argument("--store", default=DEFAULT_STORE,
                        help="Result store; use a directory for the sharded "
@@ -288,6 +311,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "marked failed.")
     serve.add_argument("--no-telemetry", action="store_true",
                        help="Disable trace spans and per-phase profiling.")
+    serve.add_argument("--backend", default=None,
+                       choices=list(BACKEND_NAMES),
+                       help="Scheduler execution backend; 'fleet' dispatches "
+                            "every job to the store's worker fleet, tagged "
+                            "with the submitting tenant.")
+
+    worker = commands.add_parser(
+        "worker", help="Run one fleet worker over a store's shared queue.")
+    worker.add_argument("store",
+                        help="Result store whose fleet/ queue to serve "
+                             "(jobs arrive from any --backend fleet "
+                             "submitter sharing this store).")
+    worker.add_argument("--worker-id", default=None,
+                        help="Stable worker identity on lease/presence "
+                             "events (default: a fresh worker-<hex> id).")
+    worker.add_argument("--lease-seconds", type=float, default=30.0,
+                        help="Lease duration stamped on acquire and each "
+                             "heartbeat renewal; a worker silent for this "
+                             "long forfeits its job to the fleet.")
+    worker.add_argument("--poll-interval", type=float, default=0.2,
+                        help="Idle sleep between acquire attempts.")
+    worker.add_argument("--max-jobs", type=int, default=0,
+                        help="Exit after executing N jobs (0 = no limit).")
+    worker.add_argument("--idle-timeout", type=float, default=0.0,
+                        help="Exit after this many seconds without work "
+                             "(0 = run until interrupted).")
 
     metrics = commands.add_parser(
         "metrics", help="Render service metrics in Prometheus text format.")
@@ -379,7 +428,8 @@ def _make_scheduler(args: argparse.Namespace) -> ScanScheduler:
     span_sink = (sidecar_path(args.store, SPANS_NAME)
                  if store is not None else None)
     return ScanScheduler(store=store, workers=args.workers,
-                         telemetry=telemetry, span_sink=span_sink)
+                         telemetry=telemetry, span_sink=span_sink,
+                         backend=getattr(args, "backend", None))
 
 
 def _print_records(records: Sequence[ScanRecord], as_json: bool,
@@ -571,21 +621,43 @@ def _print_stats(stats: dict) -> None:
         print(f"  updated: {stats['updated_at']}")
 
 
+def _print_fleet(fleet: dict) -> None:
+    """Render the fleet snapshot block of ``report`` (workers, leases, depth)."""
+    print(f"fleet ({fleet.get('workers_live', 0)} live / "
+          f"{fleet.get('workers_seen', 0)} seen worker(s)):")
+    print(f"  leases: held={fleet.get('leases_held', 0)}  "
+          f"expired={fleet.get('leases_expired_total', 0)}  "
+          f"requeued={fleet.get('leases_requeued_total', 0)}")
+    depth = fleet.get("queue_depth") or {}
+    rendered = ", ".join(f"{tenant}={count}"
+                         for tenant, count in sorted(depth.items()))
+    print(f"  jobs: queued={fleet.get('jobs_queued', 0)}  "
+          f"done={fleet.get('jobs_done', 0)}  "
+          f"failed={fleet.get('jobs_failed', 0)}"
+          + (f"  (per tenant: {rendered})" if rendered else ""))
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """``report``: render the store as tables, plus daemon stats if present.
 
     Scan and repair records are rendered as separate tables (they share the
-    store but not a column layout).
+    store but not a column layout).  Records are streamed shard by shard
+    (:func:`~repro.service.store.stream_records`) rather than replayed into
+    a store index first, so reporting on a large store is bounded by its
+    largest shard, not its total size.
     """
-    store = open_store(args.store)
-    scans = store.scan_records()
-    repairs = store.repair_records()
-    if args.detector:
-        scans = [r for r in scans
-                 if r.detector.lower() == args.detector.lower()]
-        repairs = [r for r in repairs
-                   if r.detector.lower() == args.detector.lower()]
+    scans: List[ScanRecord] = []
+    repairs: List[RepairRecord] = []
+    detector = args.detector.lower() if args.detector else None
+    for record in stream_records(args.store):
+        if detector is not None and record.detector.lower() != detector:
+            continue
+        if isinstance(record, RepairRecord):
+            repairs.append(record)
+        elif isinstance(record, ScanRecord):
+            scans.append(record)
     stats = _load_stats(args)
+    fleet = fleet_snapshot(args.store)
     if args.as_json:
         scan_rows = [r.to_dict() for r in scans]
         clean_stats = ({k: v for k, v in stats.items() if k != "_path"}
@@ -595,6 +667,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
                    "metrics": summarize_telemetry(scan_rows, clean_stats)}
         if clean_stats is not None:
             payload["stats"] = clean_stats
+        if fleet is not None:
+            payload["fleet"] = fleet
         print(json.dumps(payload, indent=2))
         return 0
     if not scans and not repairs:
@@ -614,6 +688,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
               f"{len(repairs) - succeeded} not.")
     if stats is not None:
         _print_stats(stats)
+    if fleet is not None:
+        _print_fleet(fleet)
     return 0
 
 
@@ -643,7 +719,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         stats_path=args.stats, request_options=request_options,
         auto_repair=args.auto_repair,
         repair_options={"strategy": args.repair_strategy},
-        telemetry=False if args.no_telemetry else None)
+        telemetry=False if args.no_telemetry else None,
+        backend=args.backend)
     daemon = WatchDaemon(config)
     print(f"watching {args.directory} -> store {args.store} "
           f"(detectors: {', '.join(detectors)}; "
@@ -701,6 +778,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     stats = _load_stats(args)
     if stats is not None:
         stats = {k: v for k, v in stats.items() if k != "_path"}
+    fleet = fleet_snapshot(args.store)
+    if fleet is not None:
+        stats = dict(stats or {})
+        stats["fleet"] = fleet
     rows = [record.to_dict() for record in store.scan_records()]
     text = build_service_registry(rows, stats).render()
     if args.output:
@@ -717,11 +798,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .api import ApiServer
     server = ApiServer(args.store, host=args.host, port=args.port,
                        workers=args.workers, job_retries=args.retries,
-                       telemetry=False if args.no_telemetry else None)
+                       telemetry=False if args.no_telemetry else None,
+                       backend=args.backend)
     print(f"serving http://{server.host}:{server.port} "
-          f"(store: {args.store}; workers: {max(args.workers, 1)}; "
+          f"(store: {args.store}; backend: {server.scheduler.backend.name}; "
           f"retries: {args.retries}) — Ctrl-C to drain and exit")
     server.serve_forever()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """``worker``: serve a store's fleet queue until stopped.
+
+    Any number of workers (on any host sharing the store's filesystem) can
+    drain one queue; lease-based ownership guarantees each job runs under
+    exactly one live worker at a time, and a worker that dies mid-job
+    forfeits its lease for any surviving reader to requeue.
+    """
+    print(f"worker draining fleet queue of {args.store} "
+          f"(lease: {args.lease_seconds:.0f}s) — Ctrl-C to exit")
+    try:
+        executed = run_worker(
+            args.store, worker_id=args.worker_id,
+            lease_seconds=args.lease_seconds,
+            poll_interval=args.poll_interval,
+            max_jobs=args.max_jobs or None,
+            idle_timeout=args.idle_timeout or None)
+    except KeyboardInterrupt:
+        print("worker interrupted; lease(s) will expire and requeue.")
+        return 0
+    print(f"executed {executed} job(s).")
     return 0
 
 
@@ -819,7 +925,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "report": _cmd_report, "experiment": _cmd_experiment,
                 "watch": _cmd_watch, "store": _cmd_store,
                 "trace": _cmd_trace, "metrics": _cmd_metrics,
-                "serve": _cmd_serve}
+                "serve": _cmd_serve, "worker": _cmd_worker}
     try:
         return handlers[args.command](args)
     except (OSError, KeyError, ValueError) as error:

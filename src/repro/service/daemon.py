@@ -36,7 +36,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..obs.metrics import build_service_registry
 from ..obs.trace import TRACER, new_trace_id
 from ..utils.logging import get_logger
+from .backends import ExecutionBackend, create_backend
 from .locks import atomic_write
+from .planning import ServiceMetrics
 from .records import RepairRecord, ScanRecord, ScanRequest, record_from_dict
 from .repair import RepairRequest, execute_repair, resolve_repair
 from .scheduler import (
@@ -49,8 +51,8 @@ from .scheduler import (
 )
 from .store import METRICS_NAME, SPANS_NAME, STATS_NAME, open_store, sidecar_path
 
-__all__ = ["CheckpointWatcher", "DaemonConfig", "WatchDaemon", "ScanJob",
-           "RepairJob", "default_stats_path", "run_scan_in_child"]
+__all__ = ["CheckpointWatcher", "ChildBackend", "DaemonConfig", "WatchDaemon",
+           "ScanJob", "RepairJob", "default_stats_path", "run_scan_in_child"]
 
 _LOG = get_logger("repro.service.daemon")
 
@@ -202,6 +204,11 @@ class DaemonConfig:
         telemetry: Record trace spans (``spans.jsonl`` beside the store) and
             export ``metrics.prom`` each cycle.  ``None`` follows the
             ``REPRO_TELEMETRY`` environment switch.
+        backend: Execution backend for queued jobs: ``None``/``"child"``
+            keeps the daemon's killable child processes (the historical
+            behavior), ``"fleet"`` hands jobs to the store-adjacent worker
+            fleet (see :mod:`repro.service.fleet`), and ``"inline"`` runs
+            them in the daemon process (tests; timeouts unenforceable).
     """
 
     watch_dir: str
@@ -219,6 +226,7 @@ class DaemonConfig:
     repair_options: Dict[str, Any] = field(default_factory=dict)
     repair_fn: Callable[..., RepairRecord] = execute_repair
     telemetry: Optional[bool] = None
+    backend: Optional[str] = None
 
 
 def _child_entry(conn, scan_fn, resolved) -> None:
@@ -276,6 +284,28 @@ def run_scan_in_child(scan_fn: Callable[..., ScanRecord], resolved,
         process.join()
 
 
+class ChildBackend(ExecutionBackend):
+    """Killable-child execution: one dedicated process per job.
+
+    The daemon's historical execution model, packaged behind the
+    :class:`~repro.service.backends.ExecutionBackend` contract: each payload
+    runs in a child process that is *terminated* at its deadline, so a hung
+    detector cannot wedge the loop the way it wedges a pool worker.  The
+    ``retries`` budget is ignored — the daemon retries through its own
+    prioritized queue so a flaky job goes to the back rather than blocking
+    the batch.
+    """
+
+    name = "child"
+
+    def run(self, fn: Callable[..., Any], payloads: Sequence[Any],
+            timeout: Optional[float] = None, retries: int = 0,
+            metrics: Optional[ServiceMetrics] = None) -> List[Any]:
+        """Run each payload in its own killable child (see the base contract)."""
+        return [run_scan_in_child(fn, payload, timeout)
+                for payload in payloads]
+
+
 class WatchDaemon:
     """The ``python -m repro watch`` loop: poll, enqueue, scan, publish stats.
 
@@ -297,6 +327,9 @@ class WatchDaemon:
                                       job_retries=config.max_retries,
                                       telemetry=config.telemetry)
         self.scheduler = scheduler
+        self.backend = (ChildBackend() if config.backend in (None, "child")
+                        else create_backend(config.backend,
+                                            store_path=config.store_path))
         self.telemetry = self.scheduler.telemetry
         self.spans_path = sidecar_path(config.store_path, SPANS_NAME)
         self.metrics_path = sidecar_path(config.store_path, METRICS_NAME)
@@ -398,8 +431,8 @@ class WatchDaemon:
             worker_fn = (self.config.repair_fn if is_repair
                          else self.config.scan_fn)
             try:
-                record = run_scan_in_child(worker_fn, resolved,
-                                           self.config.job_timeout)
+                record = self.backend.run(worker_fn, [resolved],
+                                          timeout=self.config.job_timeout)[0]
             # Child jobs can die in arbitrary ways (timeout, OOM kill, any
             # detector error); the daemon's liveness contract is to log,
             # retry within budget, and keep watching.
@@ -501,6 +534,7 @@ class WatchDaemon:
         # readers of the endpoint file).
         payload["metrics"] = snapshot
         payload.update({
+            "backend": self.backend.name,
             "queue_depth": len(self.queue),
             "checkpoints_seen": self.checkpoints_seen,
             "repairs_completed": self.repairs_completed,
@@ -511,6 +545,10 @@ class WatchDaemon:
             "updated_at": datetime.now(timezone.utc).isoformat(
                 timespec="seconds"),
         })
+        from .fleet import fleet_snapshot
+        fleet = fleet_snapshot(self.config.store_path)
+        if fleet is not None:
+            payload["fleet"] = fleet
         return payload
 
     def write_stats(self) -> None:

@@ -34,7 +34,7 @@ import time
 from dataclasses import (dataclass, field as dataclass_field,
                          replace as dataclass_replace)
 from datetime import datetime, timezone
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from ..obs.trace import TRACER, new_trace_id, span as _span, write_spans
 from ..utils.logging import get_logger
 from .fingerprint import digest_config, fingerprint_model, scan_key
 from .locks import atomic_write
+from .planning import CachePlanner
 from .records import RepairRecord, ScanRequest
 from .scheduler import (
     ResolvedScan,
@@ -413,32 +414,16 @@ def run_repairs(scheduler: ScanScheduler,
         roots.append(root)
         resolved.append(item)
     del checkpoint_cache
-    results: List[Optional[RepairRecord]] = [None] * len(resolved)
 
-    pending: List[Tuple[int, ResolvedRepair]] = []
-    pending_keys = set()
-    for index, item in enumerate(resolved):
-        cached = scheduler.store.lookup(item.key) if scheduler.store else None
-        if isinstance(cached, RepairRecord):
-            if roots[index] is not None:
-                roots[index].attrs["cache_hit"] = True
-            results[index] = _served_repair_copy(cached, item)
-            scheduler.metrics.record_hit()
-            continue
-        if item.key in pending_keys:
-            if roots[index] is not None:
-                roots[index].attrs["cache_hit"] = True
-            scheduler.metrics.record_hit()
-            continue
-        scheduler.metrics.record_miss()
-        pending_keys.add(item.key)
-        pending.append((index, item))
+    planner = CachePlanner(scheduler.store, scheduler.metrics,
+                           record_type=RepairRecord)
+    results, pending = planner.plan(resolved, roots, _served_repair_copy)
 
     if pending:
-        _LOG.info("Repairing %d/%d request(s) (%d served from cache) with "
-                  "%d worker(s).", len(pending), len(resolved),
+        _LOG.info("Repairing %d/%d request(s) (%d served from cache) via "
+                  "the %s backend.", len(pending), len(resolved),
                   sum(r is not None for r in results),
-                  max(scheduler.workers, 1))
+                  scheduler.backend.name)
         fresh = scheduler.run_jobs(execute_repair,
                                    [item for _, item in pending])
         for (index, _), record in zip(pending, fresh):

@@ -19,15 +19,16 @@ Worker entry points (:func:`execute_scan`, and whatever job function callers
 hand to :meth:`ScanScheduler.run_jobs`) are module-level so they pickle under
 every multiprocessing start method.
 
-**Queue, timeouts, retries.**  All batch dispatch — scan batches and the
-experiment fleets of :func:`repro.eval.experiments.run_experiment` alike —
-drains a prioritized :class:`JobQueue`: lower ``priority`` first, FIFO within
-a priority, with per-job bounded retries (a failed job re-enters the queue
-behind its peers until its attempt budget is spent) and, on the pool path, a
-per-job wall-clock timeout.  A pool timeout marks the job failed/retryable
-but cannot preempt the stuck worker process — it is only reclaimed at pool
-shutdown; the watch daemon (:mod:`repro.service.daemon`) runs its scans in
-dedicated child processes it can actually kill.
+**Layering.**  This module owns *planning*: request resolution, cache keys,
+store lookups, and batch bookkeeping.  Where the planned work actually runs
+is an :class:`~repro.service.backends.ExecutionBackend` — serial
+(``inline``), process pool (``pool``), or the lease-coordinated worker
+fleet (``fleet``, :mod:`repro.service.fleet`) — selected per scheduler via
+the ``backend`` argument (every CLI entry point exposes it as
+``--backend``).  Queue/retry/timeout machinery lives in
+:mod:`repro.service.planning`; :class:`JobQueue`, :class:`QueuedJob`,
+:class:`JobTimeoutError`, :class:`ServiceMetrics`, and
+:data:`LATENCY_WINDOW` are re-exported here for compatibility.
 
 **Metrics.**  Every scheduler carries a :class:`ServiceMetrics` accumulator
 (scans served, cache-hit ratio, p50/p95 scan latency, failures, retries)
@@ -37,18 +38,13 @@ stats endpoint file and ``python -m repro report`` renders.
 
 from __future__ import annotations
 
-import heapq
 import os
-import threading
 import time
-from bisect import bisect_left, insort
-from collections import deque
 from dataclasses import (dataclass, field as dataclass_field,
                          replace as dataclass_replace)
 from datetime import datetime, timezone
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
-                    Tuple, TypeVar)
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple, TypeVar, Union)
 
 import numpy as np
 
@@ -73,7 +69,10 @@ from ..obs.metrics import PROFILER
 from ..obs.trace import (TRACER, new_trace_id, span as _span,
                          telemetry_enabled, write_spans)
 from ..utils.logging import get_logger
+from .backends import ExecutionBackend, InlineBackend, PoolBackend, create_backend
 from .fingerprint import digest_config, fingerprint_state_dict, scan_key
+from .planning import (CachePlanner, JobQueue, JobTimeoutError, LATENCY_WINDOW,
+                       QueuedJob, ServiceMetrics)
 from .records import ScanRecord, ScanRequest
 from .store import ResultStore
 
@@ -86,9 +85,6 @@ _LOG = get_logger("repro.service.scheduler")
 
 _JobT = TypeVar("_JobT")
 _ResultT = TypeVar("_ResultT")
-
-#: Number of recent computed-scan latencies kept for percentile snapshots.
-LATENCY_WINDOW = 1024
 
 
 def _utc_now() -> str:
@@ -371,12 +367,13 @@ def execute_mega_group(group: Sequence[ResolvedScan],
                        ) -> List[ScanRecord]:
     """Run a batch of ``inversion_mode="mega"`` scans as one mega-batch.
 
-    Every classic (all-to-one) scan in ``group`` contributes its (model ×
-    class) cells to a single :func:`~repro.core.detection.detect_mega_fleet`
-    pool — a 5-checkpoint grid becomes one cross-model tensor program instead
-    of five sequential scans.  Pair-mode scans are not fleet-poolable; they
-    run per model through ``detect(mode="mega")``, still sharing the
-    clean-activation ``cache``.
+    Every scan in ``group`` — classic (all-to-one) *and* pair-mode — folds
+    its (model × cell) grid into a single
+    :func:`~repro.core.detection.detect_mega_fleet` pool: a 5-checkpoint
+    grid becomes one cross-model tensor program instead of five sequential
+    scans, and pair sweeps from different models interleave their forwards
+    in the same pool (each job keeps its own MAD selection group, so
+    verdicts match the per-model path exactly).
 
     Per-request setup replays :func:`execute_resolved` exactly — fresh RNG
     from the request seed, same checkpoint load, same clean sample — so a
@@ -421,27 +418,14 @@ def execute_mega_group(group: Sequence[ResolvedScan],
             detector.clean_key = _clean_key(resolved)
             classes = (list(request.classes)
                        if request.classes is not None else None)
+            pairs = None
             if request.scenario != SCENARIO_ALL_TO_ONE:
                 candidate_classes = (classes if classes is not None
                                      else list(range(clean.num_classes)))
                 pairs = scan_pairs_for(request.scenario, candidate_classes,
                                        source_classes=request.source_classes)
-                with TRACER.context(resolved.trace_id,
-                                    resolved.parent_span_id):
-                    with _span("mega.pair_scan", detector=request.detector):
-                        start = time.perf_counter()
-                        detection = detector.detect(model, classes=classes,
-                                                    pairs=pairs, mode="mega")
-                        detection.seconds_total = time.perf_counter() - start
-                record = _mega_record(resolved, detection)
-                if profiling:
-                    record.telemetry = _scan_telemetry(resolved, detection,
-                                                       detector)
-                    PROFILER.reset()  # phases are per-record, not cumulative
-                records[position] = record
-            else:
-                fleet.append((position, resolved))
-                fleet_jobs.append((detector, model, classes))
+            fleet.append((position, resolved))
+            fleet_jobs.append((detector, model, classes, pairs))
         if fleet_jobs:
             lead_fleet = fleet[0][1]
             with TRACER.context(lead_fleet.trace_id,
@@ -476,228 +460,19 @@ def execute_mega_group(group: Sequence[ResolvedScan],
 
 
 # ---------------------------------------------------------------------- #
-# Job queue, failure types, metrics
-# ---------------------------------------------------------------------- #
-class JobTimeoutError(RuntimeError):
-    """A job exceeded its wall-clock budget (and its retry budget, if any)."""
-
-
-@dataclass(order=True)
-class QueuedJob:
-    """One queue entry: a payload with scheduling metadata.
-
-    Ordering (what the heap compares) is ``(priority, sequence)``: lower
-    priority first, FIFO within a priority.  ``attempts`` counts executions
-    so far — a retried job re-enters the queue with a fresh sequence number,
-    placing it behind already-queued peers of the same priority.
-    """
-
-    priority: int
-    sequence: int
-    payload: Any = dataclass_field(compare=False)
-    attempts: int = dataclass_field(default=0, compare=False)
-
-
-class JobQueue:
-    """Prioritized FIFO job queue with retry bookkeeping (heap-based).
-
-    Not thread-safe by default — the scheduler and the daemon drive it from
-    a single dispatcher loop (workers never touch the queue).  Pass
-    ``thread_safe=True`` for producers and consumers on different threads
-    (the HTTP API's handler threads push while its dispatcher pops): every
-    operation then runs under one condition variable, and :meth:`pop` can
-    block until a job arrives.
-    """
-
-    def __init__(self, thread_safe: bool = False) -> None:
-        self._heap: List[QueuedJob] = []
-        self._sequence = 0
-        self._cond: Optional[threading.Condition] = (
-            threading.Condition() if thread_safe else None)
-
-    def push(self, payload: Any, priority: int = 0) -> QueuedJob:
-        """Enqueue ``payload``; lower ``priority`` runs first.
-
-        Returns:
-            The :class:`QueuedJob` wrapper (useful for later :meth:`requeue`).
-        """
-        if self._cond is None:
-            return self._push(payload, priority, attempts=0)
-        with self._cond:
-            job = self._push(payload, priority, attempts=0)
-            self._cond.notify()
-            return job
-
-    def _push(self, payload: Any, priority: int, attempts: int) -> QueuedJob:
-        job = QueuedJob(priority=int(priority), sequence=self._sequence,
-                        payload=payload, attempts=attempts)
-        self._sequence += 1
-        heapq.heappush(self._heap, job)
-        return job
-
-    def pop(self, block: bool = False,
-            timeout: Optional[float] = None) -> QueuedJob:
-        """Dequeue the front job (raises :class:`IndexError` when empty).
-
-        Args:
-            block: Wait for a job instead of raising immediately (only
-                meaningful on a ``thread_safe`` queue).
-            timeout: Give up after this many seconds of blocking;
-                :class:`IndexError` is raised when the wait expires empty.
-        """
-        if self._cond is None:
-            return heapq.heappop(self._heap)
-        with self._cond:
-            if block:
-                self._cond.wait_for(lambda: bool(self._heap), timeout=timeout)
-            return heapq.heappop(self._heap)
-
-    def requeue(self, job: QueuedJob) -> QueuedJob:
-        """Re-enqueue a failed job behind same-priority peers, counting the attempt."""
-        if self._cond is None:
-            return self._push(job.payload, job.priority,
-                              attempts=job.attempts + 1)
-        with self._cond:
-            retry = self._push(job.payload, job.priority,
-                               attempts=job.attempts + 1)
-            self._cond.notify()
-            return retry
-
-    def __len__(self) -> int:
-        """Number of queued (not yet popped) jobs."""
-        return len(self._heap)
-
-    def __bool__(self) -> bool:
-        """True while jobs are queued."""
-        return bool(self._heap)
-
-
-@dataclass
-class ServiceMetrics:
-    """Cumulative service counters plus scan-latency percentiles.
-
-    The scheduler updates these on every batch; the daemon publishes
-    :meth:`snapshot` to its stats endpoint file after each loop iteration.
-
-    Latencies of recent computed scans live in a bounded window
-    (:data:`LATENCY_WINDOW`) kept **sorted** alongside the insertion-order
-    deque: :meth:`record_latency` is an O(log n) bisect search plus an O(n)
-    list shift within the bounded window, and every
-    :meth:`latency_percentile` / :meth:`snapshot` reads the percentile
-    straight off the sorted window in O(1) — no per-snapshot re-sort, which
-    matters for a daemon republishing stats after every loop iteration.
-    """
-
-    #: Requests answered (cache hits + fresh computations).
-    scans_served: int = 0
-    #: Requests answered from the result store (incl. in-batch duplicates).
-    cache_hits: int = 0
-    #: Requests that required a fresh detector run.
-    cache_misses: int = 0
-    #: Jobs that exhausted their retry budget.
-    failures: int = 0
-    #: Retry attempts performed (not counting first attempts).
-    retries: int = 0
-    #: Clean-activation cache hits observed across mega scans.
-    activation_cache_hits: int = 0
-    #: Clean-activation cache misses observed across mega scans.
-    activation_cache_misses: int = 0
-
-    def __post_init__(self) -> None:
-        """Set up the latency window (insertion order + sorted view)."""
-        self._window: Deque[float] = deque()
-        self._sorted: List[float] = []
-
-    @property
-    def latencies(self) -> Tuple[float, ...]:
-        """Recent computed-scan latencies, oldest first (read-only view)."""
-        return tuple(self._window)
-
-    def record_latency(self, seconds: float) -> None:
-        """Add one computed-scan latency to the bounded percentile window."""
-        value = float(seconds)
-        if len(self._window) >= LATENCY_WINDOW:
-            evicted = self._window.popleft()
-            del self._sorted[bisect_left(self._sorted, evicted)]
-        self._window.append(value)
-        insort(self._sorted, value)
-
-    def record_hit(self) -> None:
-        """Count one request served from the store."""
-        self.scans_served += 1
-        self.cache_hits += 1
-
-    def record_miss(self, seconds: Optional[float] = None) -> None:
-        """Count one freshly computed request (and its latency, if known)."""
-        self.scans_served += 1
-        self.cache_misses += 1
-        if seconds is not None:
-            self.record_latency(seconds)
-
-    def record_activation_cache(self, hits: int, misses: int) -> None:
-        """Accumulate clean-activation cache traffic from one mega batch."""
-        self.activation_cache_hits += int(hits)
-        self.activation_cache_misses += int(misses)
-
-    @property
-    def cache_hit_ratio(self) -> float:
-        """Hits over served requests (0.0 when nothing was served yet)."""
-        return self.cache_hits / self.scans_served if self.scans_served else 0.0
-
-    @property
-    def activation_cache_hit_ratio(self) -> float:
-        """Activation-cache hits over lookups (0.0 before any lookup)."""
-        total = self.activation_cache_hits + self.activation_cache_misses
-        return self.activation_cache_hits / total if total else 0.0
-
-    def latency_percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0-100) of computed-scan latencies.
-
-        Linear interpolation between closest ranks (the same convention as
-        ``numpy.percentile``'s default), read from the pre-sorted window in
-        O(1).
-        """
-        data = self._sorted
-        if not data:
-            return 0.0
-        rank = (len(data) - 1) * float(q) / 100.0
-        lower = int(np.floor(rank))
-        upper = int(np.ceil(rank))
-        if lower == upper:
-            return float(data[lower])
-        return float(data[lower] + (data[upper] - data[lower]) * (rank - lower))
-
-    def snapshot(self) -> Dict[str, float]:
-        """JSON-safe stats payload (the daemon's stats-endpoint schema)."""
-        return {
-            "scans_served": self.scans_served,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_ratio": round(self.cache_hit_ratio, 4),
-            "latency_p50_s": round(self.latency_percentile(50), 4),
-            "latency_p95_s": round(self.latency_percentile(95), 4),
-            "failures": self.failures,
-            "retries": self.retries,
-            "activation_cache_hits": self.activation_cache_hits,
-            "activation_cache_misses": self.activation_cache_misses,
-            "activation_cache_hit_ratio": round(
-                self.activation_cache_hit_ratio, 4),
-        }
-
-
-# ---------------------------------------------------------------------- #
 # Scheduler
 # ---------------------------------------------------------------------- #
 class ScanScheduler:
-    """Runs scan batches across a worker pool with result-store caching.
+    """Runs scan batches over an execution backend with result-store caching.
 
     Args:
         store: Optional result store (any :func:`repro.service.open_store`
             layout); without one every request is computed fresh.
-        workers: Pool size.  ``workers <= 1`` is the serial fallback: jobs
-            run inline in the parent, in queue order — bit-identical to the
-            pool path (workers are forked with the same seeds), just without
-            the process hop.
+        workers: Pool size for the default (``pool``) backend.
+            ``workers <= 1`` is the serial fallback: jobs run inline in the
+            parent, in queue order — bit-identical to the pool path
+            (workers are forked with the same seeds), just without the
+            process hop.
         job_timeout: Default per-job wall-clock budget (seconds) for
             :meth:`run_jobs` on the pool path; ``None`` disables it.
         job_retries: Default retry budget per job — a failed (or timed-out)
@@ -709,12 +484,21 @@ class ScanScheduler:
         span_sink: Optional ``spans.jsonl`` path; finished spans of every
             batch are appended there (see
             :func:`repro.service.store.sidecar_path`).
+        backend: Where planned jobs execute — an
+            :class:`~repro.service.backends.ExecutionBackend` instance or a
+            spec string (``inline`` / ``pool`` / ``fleet``).  ``None`` (the
+            default) keeps the historical behavior: a process pool sized by
+            ``workers``, falling back to inline execution for small
+            batches.  ``fleet`` requires a store (its queue lives next to
+            it) and verdicts stay identical across backends — only the
+            processes doing the work change.
     """
 
     def __init__(self, store: Optional[ResultStore] = None,
                  workers: int = 0, job_timeout: Optional[float] = None,
                  job_retries: int = 0, telemetry: Optional[bool] = None,
-                 span_sink: Optional[str] = None) -> None:
+                 span_sink: Optional[str] = None,
+                 backend: Union[ExecutionBackend, str, None] = None) -> None:
         self.store = store
         self.workers = int(workers)
         self.job_timeout = job_timeout
@@ -722,12 +506,24 @@ class ScanScheduler:
         self.telemetry = (telemetry_enabled() if telemetry is None
                           else bool(telemetry))
         self.span_sink = span_sink
+        self.backend = self._resolve_backend(backend)
         #: Cumulative counters over the scheduler's life (never reset).
         self.metrics = ServiceMetrics()
         #: Lazily-created activation cache shared by every mega batch this
         #: scheduler runs in-parent, so repeated scans of the same weights
         #: hit across batches (and the hit ratio is worth exporting).
         self._activation_cache: Optional[CleanActivationCache] = None
+
+    def _resolve_backend(self, backend: Union[ExecutionBackend, str, None]
+                         ) -> ExecutionBackend:
+        """Materialize the ``backend`` argument into an instance."""
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        if backend is None:
+            backend = "pool" if self.workers > 1 else "inline"
+        store_path = getattr(self.store, "path", None)
+        return create_backend(backend, workers=self.workers,
+                              store_path=store_path)
 
     @property
     def cache_hits(self) -> int:
@@ -747,7 +543,7 @@ class ScanScheduler:
         return self._activation_cache
 
     # ------------------------------------------------------------------ #
-    # Generic queued dispatch (also used by the experiment fleet)
+    # Generic dispatch through the execution backend
     # ------------------------------------------------------------------ #
     def run_jobs(self, fn: Callable[[_JobT], _ResultT],
                  payloads: Sequence[_JobT],
@@ -755,14 +551,17 @@ class ScanScheduler:
                  retries: Optional[int] = None) -> List[_ResultT]:
         """Apply a module-level ``fn`` to every payload, preserving order.
 
-        Every payload goes through the prioritized :class:`JobQueue` (all at
+        Dispatch happens through the scheduler's execution backend: every
+        payload goes through the prioritized planning queue (all at
         priority 0 here, so plain FIFO) with the scheduler's retry budget;
-        the pool path additionally enforces ``timeout`` seconds of wall
-        clock per job.  A job that exhausts its retries re-raises its last
-        error (:class:`JobTimeoutError` for timeouts), failing the batch.
+        process-based backends additionally enforce ``timeout`` seconds of
+        wall clock per job.  A job that exhausts its retries re-raises its
+        last error (:class:`JobTimeoutError` for timeouts and expired fleet
+        leases), failing the batch.
 
         Args:
-            fn: Module-level callable (must pickle for the pool path).
+            fn: Module-level callable (must pickle for the pool path; must
+                have a registered job kind for the fleet path).
             payloads: Job inputs; results come back in the same order.
             timeout: Per-job budget override (default: ``job_timeout``).
                 Inline (serial) execution cannot be preempted, so the budget
@@ -772,93 +571,10 @@ class ScanScheduler:
         Returns:
             ``[fn(p) for p in payloads]``, computed queue-driven.
         """
-        items = list(payloads)
         timeout = self.job_timeout if timeout is None else timeout
         retries = self.job_retries if retries is None else int(retries)
-        queue = JobQueue()
-        for index, payload in enumerate(items):
-            queue.push((index, payload))
-        results: List[Optional[_ResultT]] = [None] * len(items)
-        if self.workers <= 1 or len(items) <= 1:
-            while queue:
-                job = queue.pop()
-                index, payload = job.payload
-                try:
-                    results[index] = fn(payload)
-                except Exception:
-                    if job.attempts < retries:
-                        self.metrics.retries += 1
-                        queue.requeue(job)
-                        continue
-                    self.metrics.failures += 1
-                    raise
-            return results  # type: ignore[return-value]
-
-        max_workers = min(self.workers, len(items))
-        pool = ProcessPoolExecutor(max_workers=max_workers)
-        running: Dict[Any, Tuple[QueuedJob, float]] = {}
-        #: Workers presumed wedged on a timed-out task (a pool cannot preempt
-        #: a running job).  They shrink the dispatch capacity so queued jobs
-        #: are never submitted behind a stuck worker — where their timeout
-        #: clock would run without the job ever starting.
-        stuck = 0
-        try:
-
-            def _dispatch() -> None:
-                while queue and len(running) < max_workers - stuck:
-                    job = queue.pop()
-                    future = pool.submit(fn, job.payload[1])
-                    running[future] = (job, time.monotonic())
-
-            _dispatch()
-            while running:
-                expiries = [started + timeout for _, started in running.values()
-                            ] if timeout is not None else []
-                wait_budget = (max(0.0, min(expiries) - time.monotonic())
-                               if expiries else None)
-                done, _ = wait(set(running), timeout=wait_budget,
-                               return_when=FIRST_COMPLETED)
-                now = time.monotonic()
-                expired = [future for future, (_, started) in running.items()
-                           if timeout is not None and future not in done
-                           and now - started >= timeout]
-                for future in list(done) + expired:
-                    job, _started = running.pop(future)
-                    error: Optional[BaseException] = None
-                    if future in done:
-                        error = future.exception()
-                        if error is None:
-                            results[job.payload[0]] = future.result()
-                            continue
-                    else:
-                        if not future.cancel():
-                            # Already running: that worker is occupied until
-                            # the abandoned task finishes, if it ever does.
-                            stuck += 1
-                        error = JobTimeoutError(
-                            f"job {job.payload[0]} exceeded {timeout:.1f}s "
-                            f"(attempt {job.attempts + 1}).")
-                    if job.attempts < retries:
-                        _LOG.warning("Retrying job %d after %s", job.payload[0],
-                                     error)
-                        self.metrics.retries += 1
-                        queue.requeue(job)
-                    else:
-                        self.metrics.failures += 1
-                        raise error
-                _dispatch()
-            if queue:
-                # Every worker is wedged on an abandoned task; the queued
-                # remainder can never start.
-                self.metrics.failures += 1
-                raise JobTimeoutError(
-                    f"{len(queue)} queued job(s) starved: all {max_workers} "
-                    "worker(s) are stuck on timed-out jobs.")
-        finally:
-            # With wedged workers a wait=True shutdown would block forever;
-            # abandon the pool instead (its processes die with the parent).
-            pool.shutdown(wait=stuck == 0, cancel_futures=stuck > 0)
-        return results  # type: ignore[return-value]
+        return self.backend.run(fn, list(payloads), timeout=timeout,
+                                retries=retries, metrics=self.metrics)
 
     # ------------------------------------------------------------------ #
     # Cached scanning
@@ -925,37 +641,15 @@ class ScanScheduler:
             roots.append(root)
             resolved.append(item)
         del checkpoint_cache  # free the cached state dicts before dispatch
-        results: List[Optional[ScanRecord]] = [None] * len(resolved)
 
-        pending: List[Tuple[int, ResolvedScan]] = []
-        pending_keys = set()
-        for index, item in enumerate(resolved):
-            root = roots[index]
-            with TRACER.context_of(root):
-                with _span("scan.cache_lookup", store=self.store is not None):
-                    cached = (self.store.lookup(item.key)
-                              if self.store else None)
-            if cached is not None:
-                if root is not None:
-                    root.attrs["cache_hit"] = True
-                results[index] = self._served_copy(cached, item)
-                self.metrics.record_hit()
-                continue
-            if item.key in pending_keys:
-                # Duplicate inside this batch: computed once below and served
-                # as a hit, so it counts as one.
-                if root is not None:
-                    root.attrs["cache_hit"] = True
-                self.metrics.record_hit()
-                continue
-            self.metrics.record_miss()
-            pending_keys.add(item.key)
-            pending.append((index, item))
+        planner = CachePlanner(self.store, self.metrics)
+        results, pending = planner.plan(resolved, roots, self._served_copy,
+                                        span_name="scan.cache_lookup")
 
         if pending:
             _LOG.info("Scanning %d/%d request(s) (%d served from cache) "
-                      "with %d worker(s).", len(pending), len(resolved),
-                      sum(r is not None for r in results), max(self.workers, 1))
+                      "via the %s backend.", len(pending), len(resolved),
+                      sum(r is not None for r in results), self.backend.name)
             # Mega-mode requests batch across models/checkpoints, so they run
             # as one in-parent pool instead of fanning out to workers.
             mega = [(index, item) for index, item in pending

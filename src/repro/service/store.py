@@ -39,8 +39,9 @@ from ..utils.logging import get_logger
 from .locks import FileLock, atomic_write
 from .records import RepairRecord, ScanRecord, record_from_dict
 
-__all__ = ["ResultStore", "ShardedResultStore", "open_store", "STATS_NAME",
-           "SPANS_NAME", "METRICS_NAME", "sidecar_path"]
+__all__ = ["ResultStore", "ShardedResultStore", "open_store",
+           "stream_records", "STATS_NAME", "SPANS_NAME", "METRICS_NAME",
+           "sidecar_path"]
 
 #: Record types a store line may decode to (see ``records.record_from_dict``).
 StoreRecord = Union[ScanRecord, RepairRecord]
@@ -520,3 +521,44 @@ def open_store(path: Union[str, os.PathLike],
     if os.path.splitext(text)[1] == "":
         return ShardedResultStore(text, **kwargs)
     return ResultStore(text)
+
+
+def stream_records(path: Union[str, os.PathLike]) -> Iterator[StoreRecord]:
+    """Stream a store's records shard by shard, without a full index.
+
+    Yields the same records in the same order as opening the store and
+    calling ``records()`` — one record per key, latest line wins — but the
+    working set is bounded by the *largest shard* instead of the whole
+    store: read-only consumers (``repro report``, ad-hoc scripts) never pay
+    for the in-memory index the caching stores build on open.
+
+    Per-shard deduplication is sufficient because a record's shard is
+    addressed by its key's fingerprint prefix: a key never spans shards,
+    and replaying shards in sorted name order reproduces the index's
+    insertion order exactly.  A missing store yields nothing.
+
+    Args:
+        path: Store directory (sharded layout) or JSONL file (legacy).
+
+    Yields:
+        :class:`~repro.service.records.ScanRecord` /
+        :class:`~repro.service.records.RepairRecord` instances.
+    """
+    text = os.fspath(path)
+    if os.path.isdir(text) or text.endswith(os.sep):
+        root = text.rstrip(os.sep)
+        names = sorted(entry for entry in os.listdir(root)
+                       if entry.startswith("shard-")
+                       and entry.endswith(".jsonl"))
+        for name in names:
+            latest: Dict[str, StoreRecord] = {}
+            for record in _iter_jsonl_records(os.path.join(root, name)):
+                latest[record.key] = record
+            yield from latest.values()
+        return
+    if not os.path.isfile(text):
+        return
+    latest = {}
+    for record in _iter_jsonl_records(text):
+        latest[record.key] = record
+    yield from latest.values()

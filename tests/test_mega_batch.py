@@ -185,6 +185,25 @@ class TestFleet:
         stats = cache.stats()
         assert stats["hits"] >= 1
 
+    def test_fleet_pools_pair_scans_across_models(self, tiny_setup):
+        _, dataset = tiny_setup
+        clean = dataset.subset(range(16))
+        models = self._models()
+        pairs = scan_pairs_for(SCENARIO_SOURCE_CONDITIONAL, [0, 1, 2, 3],
+                               source_classes=(1, 2))
+        jobs = [(_make_detector("usb", clean), model, None, pairs)
+                for model in models]
+        fleet = detect_mega_fleet(jobs)
+        assert len(fleet) == len(models)
+        for model, pooled in zip(models, fleet):
+            solo = _make_detector("usb", clean).detect(model, pairs=pairs,
+                                                       mode="mega")
+            assert pooled.flagged_pairs == solo.flagged_pairs
+            assert (set(pooled.pair_anomaly_indices)
+                    == set(solo.pair_anomaly_indices))
+            assert pooled.metadata.get("fleet") == 1.0
+            assert pooled.metadata.get("pair_mode") == 1.0
+
     def test_fleet_mixes_detectors(self, tiny_setup):
         model, dataset = tiny_setup
         clean = dataset.subset(range(16))
